@@ -1,0 +1,50 @@
+"""Ablation: inlining serial callees vs spawning through task units.
+
+Paper §VI ("Task controllers"): the controllers and queuing logic add
+latency to the critical path, and statically absorbing suitable work
+would eliminate them. This quantifies it on mergesort, whose serial
+`merge` runs once per recursion node through a call round trip.
+"""
+
+import pytest
+
+from repro.accel import build_accelerator
+from repro.ir.types import I32
+from repro.passes import inline_calls, prune_unreachable_functions
+from repro.reports import render_table
+from repro.workloads import Mergesort
+
+
+def run_mergesort(module, n=64):
+    import random
+
+    accel = build_accelerator(module, Mergesort().default_config())
+    rng = random.Random(17)
+    data = [rng.randrange(-1000, 1000) for _ in range(n)]
+    base = accel.memory.alloc_array(I32, data)
+    result = accel.run("mergesort", [base, 0, n - 1])
+    assert accel.memory.read_array(base, I32, n) == sorted(data)
+    return result.cycles, len(accel.units)
+
+
+def test_ablation_inline_serial_callees(benchmark, save_result):
+    def run():
+        workload = Mergesort()
+        baseline = run_mergesort(workload.fresh_module())
+        inlined_module = workload.fresh_module()
+        inline_calls(inlined_module, max_insts=200)
+        prune_unreachable_functions(inlined_module, ["mergesort"])
+        inlined = run_mergesort(inlined_module)
+        return {"spawn merge unit": baseline, "inline merge": inlined}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, cycles, units] for name, (cycles, units) in data.items()]
+    text = render_table(["Configuration", "cycles", "task units"], rows,
+                        title="Ablation — inlining the serial merge "
+                              "(paper §VI: eliminate task controllers)")
+    save_result("ablation_inlining", text)
+
+    base_cycles, base_units = data["spawn merge unit"]
+    inl_cycles, inl_units = data["inline merge"]
+    assert inl_units == base_units - 1          # controller eliminated
+    assert inl_cycles < base_cycles             # round trips removed

@@ -1,0 +1,102 @@
+"""Ablation: task-queue scheduling and sizing design choices.
+
+The queue dispatch policy (DESIGN.md: LIFO for recursion, mirroring a
+work-first Cilk scheduler) and the Ntasks depth bound the live spawn
+tree; these runs quantify both effects on the recursive benchmarks.
+"""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, TaskUnitParams, build_accelerator
+from repro.errors import DeadlockError
+from repro.reports import render_table
+from repro.workloads import REGISTRY, fib_reference
+
+
+def run_fib(n, queue_depth, policy, ntiles=4):
+    workload = REGISTRY.get("fibonacci")
+    config = AcceleratorConfig(unit_params={
+        "fib": TaskUnitParams(ntiles=ntiles, queue_depth=queue_depth,
+                              policy=policy)})
+    accel = workload.build(config)
+    result = accel.run("fib", [n])
+    assert result.retval == fib_reference(n)
+    peak = accel.units[0].queue.stats()["peak_occupancy"]
+    return result.cycles, peak
+
+
+def test_ablation_queue_policy(benchmark, save_result):
+    """LIFO (depth-first) keeps the live spawn tree far smaller than
+    FIFO (breadth-first) at equal correctness."""
+
+    def run():
+        out = {}
+        for policy in ("lifo", "fifo"):
+            out[policy] = run_fib(12, queue_depth=1024, policy=policy)
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[p, c, peak] for p, (c, peak) in data.items()]
+    text = render_table(["Policy", "cycles", "peak queue occupancy"], rows,
+                        title="Ablation — dispatch policy on fib(12)")
+    save_result("ablation_policy", text)
+
+    # with 4 tiles x 8 in-flight there are ~32 concurrent walkers, which
+    # dilutes pure depth-first order — the live tree still shrinks ~25%
+    lifo_peak = data["lifo"][1]
+    fifo_peak = data["fifo"][1]
+    assert lifo_peak < fifo_peak * 0.85, (
+        f"LIFO peak {lifo_peak} not smaller than FIFO {fifo_peak}")
+
+
+def test_ablation_queue_depth_safety(benchmark, save_result):
+    """An undersized queue is a circular wait: the engine reports the
+    livelock instead of hanging, and a tree-sized queue always works."""
+
+    def run():
+        outcomes = {}
+        for depth in (8, 64, 512):
+            try:
+                cycles, peak = run_fib(12, queue_depth=depth, policy="lifo")
+                outcomes[depth] = ("ok", cycles, peak)
+            except DeadlockError:
+                outcomes[depth] = ("livelock", None, None)
+        return outcomes
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[d, *v] for d, v in data.items()]
+    text = render_table(["Depth", "outcome", "cycles", "peak"], rows,
+                        title="Ablation — queue depth vs fib(12)'s "
+                              "465-task spawn tree")
+    save_result("ablation_queue_depth", text)
+
+    assert data[8][0] == "livelock"
+    assert data[512][0] == "ok"
+
+
+def test_ablation_inflight_depth(benchmark, save_result):
+    """Per-tile pipelining (Fig 7): deeper in-flight windows raise
+    throughput per tile until another resource saturates."""
+
+    def run():
+        workload = REGISTRY.get("stencil")
+        out = {}
+        for inflight in (1, 2, 8):
+            design_units = {}
+            from repro.accel.generator import generate
+
+            for ct in generate(workload.fresh_module()).compiled:
+                design_units[ct.name] = TaskUnitParams(
+                    ntiles=2, max_inflight_per_tile=inflight)
+            config = AcceleratorConfig(unit_params=design_units)
+            result = workload.run(config=config, scale=2)
+            assert result.correct
+            out[inflight] = result.cycles
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[i, c] for i, c in data.items()]
+    text = render_table(["In-flight/tile", "stencil cycles"], rows,
+                        title="Ablation — per-tile task pipelining depth")
+    save_result("ablation_inflight", text)
+    assert data[8] < data[1] * 0.7

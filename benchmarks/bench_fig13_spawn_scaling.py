@@ -1,0 +1,119 @@
+"""Figure 13: spawn-rate scaling of the Fig 12 microbenchmark.
+
+Paper result: on Arria 10 (~300 MHz) performance in million-adds/s scales
+monotonically with 1-5 worker tiles for every task grain (10-50 adders),
+peaking around 1750 Madds/s at 50 adders; the Cilk "Software" line on a
+4-core i7 stays flat because runtime spawn overhead swamps such tiny
+tasks. §V-A's headline: a task spawns in ~10 cycles, ~40 M spawns/s.
+"""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, TaskUnitParams, build_accelerator
+from repro.baselines import MulticoreCPU
+from repro.frontend import compile_source
+from repro.ir.types import I32
+from repro.memory.backing import MainMemory
+from repro.reports import render_series
+from repro.workloads import ScaleMicro
+
+TILE_COUNTS = [1, 2, 3, 4, 5]
+ADDER_COUNTS = [10, 20, 30, 40, 50]
+N_TASKS = 192
+ARRIA_MHZ = 300.0  # the paper's reported clock for this design
+
+
+def fpga_madds_per_s(work_ops: int, tiles: int):
+    workload = ScaleMicro(work_ops=work_ops)
+    config = AcceleratorConfig(unit_params={
+        "scale": TaskUnitParams(ntiles=1),
+        # shallow per-tile pipelining so added tiles (not deeper pipelines)
+        # supply the parallelism, as in the paper's tiling experiment
+        "scale.t0": TaskUnitParams(ntiles=tiles,
+                                   queue_depth=max(32, 4 * tiles),
+                                   max_inflight_per_tile=2),
+    })
+    accel = build_accelerator(workload.fresh_module(), config)
+    prepared = workload.prepare(accel.memory, scale=N_TASKS // 64)
+    result = accel.run(prepared.function, prepared.args)
+    assert prepared.check(accel.memory, result.retval)
+    seconds = result.cycles / (ARRIA_MHZ * 1e6)
+    return prepared.work_items / seconds / 1e6, result.cycles
+
+
+def software_madds_per_s(work_ops: int) -> float:
+    """The same fine-grain tasks under the Cilk runtime model: one task
+    spawned per element (grain-size 1, which is what the hardware does)."""
+    source = f"""
+    func work(a: i32*, i: i32) {{ a[i] = a[i]{" + 1" * work_ops}; }}
+    func scale(a: i32*, n: i32) {{
+      var i: i32 = 0;
+      while (i < n) {{
+        spawn work(a, i);
+        i = i + 1;
+      }}
+      sync;
+    }}
+    """
+    module = compile_source(source, "scale_sw")
+    memory = MainMemory(1 << 22)
+    cpu = MulticoreCPU(module, memory)
+    base = memory.alloc_array(I32, [0] * N_TASKS)
+    result = cpu.run("scale", [base, N_TASKS])
+    assert memory.read_array(base, I32, N_TASKS) == [work_ops] * N_TASKS
+    adds = N_TASKS * work_ops
+    return adds / result.time_seconds(cpu.model) / 1e6
+
+
+def test_fig13_performance_scaling(benchmark, save_result):
+    def run():
+        table = {}
+        for adders in ADDER_COUNTS:
+            table[adders] = [fpga_madds_per_s(adders, tiles)[0]
+                             for tiles in TILE_COUNTS]
+        software = {a: software_madds_per_s(a) for a in ADDER_COUNTS}
+        return table, software
+
+    table, software = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    series = [(f"{a} adders", [round(v, 1) for v in table[a]])
+              for a in ADDER_COUNTS]
+    series.append(("Software(50)",
+                   [round(software[50], 1)] * len(TILE_COUNTS)))
+    text = render_series(
+        "Figure 13 — Performance scaling with tiles "
+        "(million adds/s, Arria 10 @300 MHz)",
+        "tiles", TILE_COUNTS, series)
+    save_result("fig13_spawn_scaling", text)
+
+    # paper shape 1: monotone scaling with tiles for every grain
+    for adders in ADDER_COUNTS:
+        row = table[adders]
+        for a, b in zip(row, row[1:]):
+            assert b >= a * 0.97, f"{adders} adders: tiles did not help"
+    # paper shape 2: fine-grain hardware tasks beat the software runtime
+    assert max(table[50]) > software[50]
+    assert max(table[10]) > software[10]
+    # paper shape 3: more adders per task -> more useful throughput
+    assert max(table[50]) > max(table[10])
+    # paper magnitude: peak in the >1000 Madds/s regime (paper ~1750)
+    assert max(table[50]) > 1000
+
+
+def test_fig13_spawn_rate_headline(benchmark, save_result):
+    """§V-A headline: tens of millions of spawns per second, i.e. a task
+    spawned every ~10 cycles."""
+
+    def run():
+        _madds, cycles = fpga_madds_per_s(10, 5)
+        return cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    cycles_per_spawn = cycles / N_TASKS
+    spawns_per_s = N_TASKS / (cycles / (ARRIA_MHZ * 1e6))
+    text = (f"Fig 13 headline: {cycles_per_spawn:.1f} cycles/spawn "
+            f"-> {spawns_per_s/1e6:.1f} M spawns/s at {ARRIA_MHZ:.0f} MHz "
+            f"(paper: ~10 cycles, ~40 M spawns/s)")
+    save_result("fig13_spawn_rate", text)
+    assert cycles_per_spawn < 15
+    assert spawns_per_s > 20e6

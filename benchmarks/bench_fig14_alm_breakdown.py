@@ -1,0 +1,62 @@
+"""Figure 14: ALM utilisation by sub-block for the Table III configs.
+
+Paper result: at 1 task/1 instruction ~60% of the logic is non-compute
+overhead (task control, parallel-for control, memory arbitration, misc);
+at 50 ops/task the overhead is ~20%; at 10 tiles the control overhead is
+amortised to a sliver (~3%) and the memory network stays under 10%.
+"""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, TaskUnitParams, build_accelerator
+from repro.reports import estimate_resources, render_table
+from repro.workloads import ScaleMicro
+
+CONFIGS = [(1, 1), (1, 50), (10, 1), (10, 50)]
+
+
+def breakdown_for(tiles: int, ins: int):
+    workload = ScaleMicro(work_ops=ins)
+    config = AcceleratorConfig(unit_params={
+        "scale": TaskUnitParams(ntiles=1),
+        "scale.t0": TaskUnitParams(ntiles=tiles),
+    })
+    accel = build_accelerator(workload.fresh_module(), config)
+    report = estimate_resources(accel)
+    return report.breakdown(), report.alms
+
+
+def test_fig14_alm_breakdown(benchmark, save_result):
+    def run():
+        return {cfg: breakdown_for(*cfg) for cfg in CONFIGS}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    shares = {}
+    for (tiles, ins), (breakdown, total) in data.items():
+        pct = {k: 100.0 * v / total for k, v in breakdown.items()}
+        shares[(tiles, ins)] = pct
+        rows.append([f"{tiles}T/{ins}Ins",
+                     round(pct["tiles"], 1),
+                     round(pct["parallel_for"], 1),
+                     round(pct["task_ctrl"], 1),
+                     round(pct["mem_arb"], 1),
+                     round(pct["misc"], 1)])
+    text = render_table(
+        ["Config", "Tiles%", "ParallelFor%", "TaskCtrl%", "MemArb%", "Misc%"],
+        rows, title="Figure 14 — ALM utilisation by sub-block")
+    save_result("fig14_alm_breakdown", text)
+
+    def overhead(cfg):
+        pct = shares[cfg]
+        return pct["task_ctrl"] + pct["mem_arb"] + pct["misc"] + pct["parallel_for"]
+
+    # paper shape: tiny tasks are overhead-dominated (~60%)
+    assert overhead((1, 1)) > 45
+    # 50 ops amortise the overhead (paper ~20%)
+    assert overhead((1, 50)) < 40
+    # 10 tiles amortise control to a sliver; memory network < 10%
+    assert shares[(10, 50)]["task_ctrl"] < 5
+    assert shares[(10, 50)]["mem_arb"] < 10
+    assert overhead((10, 50)) < 15

@@ -1,0 +1,70 @@
+"""Figure 15: performance scalability with 1/2/4/8 tiles per task.
+
+Paper result: every benchmark except Dedup speeds up with tiles
+(1.5-6x at 8 tiles). Dedup stays flat — its baseline is already a
+four-unit pipeline and the stages are balanced. Saxpy and matrix-add
+gain a step from the second tile then saturate on cache bandwidth;
+Stencil is compute-heavy and keeps scaling to 8 tiles.
+"""
+
+import pytest
+
+from repro.reports import render_series
+from repro.workloads import REGISTRY
+
+TILES = [1, 2, 4, 8]
+SCALES = {"matrix_add": 2, "image_scale": 2, "saxpy": 2, "stencil": 2,
+          "dedup": 2, "mergesort": 2, "fibonacci": 2}
+
+
+def sweep(name):
+    workload = REGISTRY.get(name)
+    cycles = {}
+    for tiles in TILES:
+        result = workload.run(config=workload.default_config(ntiles=tiles),
+                              scale=SCALES[name])
+        assert result.correct, f"{name} wrong at {tiles} tiles"
+        cycles[tiles] = result.cycles
+    return cycles
+
+
+def test_fig15_tile_scaling(benchmark, save_result):
+    def run():
+        return {name: sweep(name) for name in REGISTRY.names()}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    speedups = {
+        name: [cycles[1] / cycles[t] for t in TILES]
+        for name, cycles in data.items()
+    }
+    series = [(name, [round(s, 2) for s in speedups[name]])
+              for name in REGISTRY.names()]
+    text = render_series(
+        "Figure 15 — Normalised performance vs tiles/task (1 tile = 1.0)",
+        "tiles", TILES, series)
+    save_result("fig15_tile_scaling", text)
+
+    # paper shape: everything except dedup gains from extra tiles.
+    # (Our shared L1 accepts one request/cycle, so the memory-bound codes
+    # saturate slightly earlier than on the paper's AXI system — the
+    # paper itself attributes their saturation to cache bandwidth.)
+    for name in REGISTRY.names():
+        if name == "dedup":
+            continue
+        assert max(speedups[name]) > 1.04, f"{name} did not scale"
+    for name in ("image_scale", "stencil", "fibonacci"):
+        assert max(speedups[name]) > 1.2, f"{name} scaled too weakly"
+
+    # dedup is a balanced pipeline: nearly flat (paper: no improvement)
+    assert max(speedups["dedup"]) < 1.3
+
+    # stencil is compute-intense and scales furthest (paper: up to ~6x)
+    assert speedups["stencil"][-1] > 2.5
+    assert speedups["stencil"][-1] == max(
+        s[-1] for s in speedups.values())
+
+    # saxpy/matrix gain a step then saturate on memory bandwidth
+    for name in ("saxpy", "matrix_add"):
+        assert speedups[name][1] > 1.05          # second tile helps
+        assert speedups[name][-1] < 2.0          # but saturates

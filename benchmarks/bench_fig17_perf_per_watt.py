@@ -1,0 +1,87 @@
+"""Figure 17: performance/watt vs the Intel i7.
+
+Paper result: TAPAS accelerators achieve 10-78x better perf/W than the
+multicore — "often exceeding 20x" — with Dedup the best case (67-78x)
+and memory-bound mergesort the only marginal one (1.3-1.9x). The win is
+structural: ~1 W accelerators vs a ~50 W CPU package at comparable
+performance.
+"""
+
+import pytest
+
+from repro.accel import ARRIA_10, CYCLONE_V
+from repro.baselines import MulticoreCPU
+from repro.memory.backing import MainMemory
+from repro.reports import (
+    cpu_power_watts,
+    estimate_mhz,
+    estimate_resources,
+    fpga_power_watts,
+    perf_per_watt_gain,
+    render_table,
+)
+from repro.workloads import REGISTRY
+
+SCALE = 2
+PAPER = {  # (Cyclone V, Arria 10) perf/W gains from Fig 17
+    "matrix_add": (26.7, 20.2), "stencil": (16.8, 14.4),
+    "saxpy": (30.6, 32.3), "image_scale": (9.7, 10.6),
+    "dedup": (78.3, 66.9), "fibonacci": (14.6, 13.3),
+    "mergesort": (1.9, 1.3),
+}
+
+
+def measure(name):
+    workload = REGISTRY.get(name)
+    accel = workload.build(workload.default_config(ntiles=4))
+    prepared = workload.prepare(accel.memory, SCALE)
+    result = accel.run(prepared.function, prepared.args)
+    assert prepared.check(accel.memory, result.retval), name
+    report = estimate_resources(accel)
+
+    memory = MainMemory(1 << 22)
+    cpu = MulticoreCPU(workload.fresh_module(), memory)
+    cpu_prep = workload.prepare(memory, SCALE)
+    cpu_result = cpu.run(cpu_prep.function, cpu_prep.args)
+    cpu_seconds = cpu_result.time_seconds(cpu.model)
+
+    gains = {}
+    for board in (CYCLONE_V, ARRIA_10):
+        mhz = estimate_mhz(board, report.alms)
+        fpga_seconds = result.cycles / (mhz * 1e6)
+        watts = fpga_power_watts(report.alms, report.brams, mhz)
+        gains[board.name] = perf_per_watt_gain(
+            fpga_seconds, watts, cpu_seconds, cpu_power_watts())
+    return gains
+
+
+def test_fig17_perf_per_watt(benchmark, save_result):
+    def run():
+        return {name: measure(name) for name in REGISTRY.names()}
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in REGISTRY.names():
+        p_cyc, p_arr = PAPER[name]
+        rows.append([name,
+                     f"{gains[name][CYCLONE_V.name]:.1f}x", f"{p_cyc}x",
+                     f"{gains[name][ARRIA_10.name]:.1f}x", f"{p_arr}x"])
+    text = render_table(
+        ["Benchmark", "CycloneV", "paper", "Arria10", "paper"],
+        rows,
+        title="Figure 17 — Perf/Watt vs Intel i7 (>1 means FPGA better)")
+    save_result("fig17_perf_per_watt", text)
+
+    cyclone = {n: gains[n][CYCLONE_V.name] for n in gains}
+
+    # headline: "~20x the power efficiency", "often exceeding 20x"
+    over_20 = [n for n, v in cyclone.items() if v > 20]
+    assert len(over_20) >= 3, f"only {over_20} exceeded 20x"
+    # every benchmark is at least more efficient than the CPU
+    assert all(v > 1.0 for v in cyclone.values())
+    # dedup is one of the big winners (paper: 67-78x; ours lands >20x)
+    assert cyclone["dedup"] > 20
+    # mergesort is the marginal one (paper: 1.3-1.9x)
+    assert cyclone["mergesort"] == min(cyclone.values())
+    assert cyclone["mergesort"] < 10

@@ -1,0 +1,80 @@
+"""Table III: FPGA utilisation of the Fig 12 microbenchmark.
+
+Paper rows (Cyclone V 5CSEMA5): 1 tile/1 ins -> 185 MHz, 1314 ALM;
+1/50 -> 178 MHz, 2955 ALM; 10/1 -> 154 MHz, 7107 ALM; 10/50 -> 159 MHz,
+24738 ALM, 85% of chip; one M20K for the task queue. Arria 10: 10/50 at
+308 MHz, 12% of chip.
+"""
+
+import pytest
+
+from repro.accel import (
+    ARRIA_10,
+    CYCLONE_V,
+    AcceleratorConfig,
+    TaskUnitParams,
+    build_accelerator,
+)
+from repro.reports import estimate_mhz, estimate_resources, render_table
+from repro.workloads import ScaleMicro
+
+CONFIGS = [(1, 1), (1, 50), (10, 1), (10, 50)]
+PAPER_CYCLONE = {
+    (1, 1): (185.46, 1314, 1424, 1, 5),
+    (1, 50): (178.09, 2955, 3523, 1, 10),
+    (10, 1): (153.61, 7107, 8547, 1, 24),
+    (10, 50): (159.24, 24738, 27604, 1, 85),
+}
+
+
+def build_micro(tiles: int, ins: int):
+    workload = ScaleMicro(work_ops=ins)
+    config = AcceleratorConfig(unit_params={
+        "scale": TaskUnitParams(ntiles=1),
+        "scale.t0": TaskUnitParams(ntiles=tiles),
+    })
+    return build_accelerator(workload.fresh_module(), config)
+
+
+def test_table3_utilization(benchmark, save_result):
+    def run():
+        rows = []
+        reports = {}
+        for tiles, ins in CONFIGS:
+            accel = build_micro(tiles, ins)
+            report = estimate_resources(accel)
+            mhz = estimate_mhz(CYCLONE_V, report.alms)
+            rows.append(["Cyclone V", tiles, ins, round(mhz, 1),
+                         report.alms, report.regs, report.brams,
+                         round(report.chip_percent(CYCLONE_V.alm_capacity), 1)])
+            reports[(tiles, ins)] = report
+        # Arria 10 point from the paper
+        big = reports[(10, 50)]
+        mhz_a = estimate_mhz(ARRIA_10, big.alms)
+        rows.append(["Arria 10", 10, 50, round(mhz_a, 1), big.alms,
+                     big.regs, big.brams,
+                     round(big.chip_percent(ARRIA_10.alm_capacity), 1)])
+        return rows, reports
+
+    rows, reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["Board", "Tiles", "Ins", "MHz", "ALM", "Reg", "BRAM", "%Chip"],
+        rows, title="Table III — FPGA utilisation (model vs paper)")
+    save_result("table3_utilization", text)
+
+    # model accuracy against the published points
+    for config, (p_mhz, p_alm, p_reg, p_bram, p_pct) in PAPER_CYCLONE.items():
+        report = reports[config]
+        assert abs(report.alms - p_alm) / p_alm < 0.25
+        assert abs(report.regs - p_reg) / p_reg < 0.40
+        assert report.brams == p_bram
+        mhz = estimate_mhz(CYCLONE_V, report.alms)
+        assert abs(mhz - p_mhz) / p_mhz < 0.20
+
+    # the 10x50 design nearly fills a Cyclone V but is small on Arria 10
+    big = reports[(10, 50)]
+    assert big.chip_percent(CYCLONE_V.alm_capacity) > 60
+    assert big.chip_percent(ARRIA_10.alm_capacity) < 15
+    # Arria closes timing ~2x higher (paper: 308 vs 159 MHz)
+    assert estimate_mhz(ARRIA_10, big.alms) > 1.7 * estimate_mhz(
+        CYCLONE_V, big.alms)

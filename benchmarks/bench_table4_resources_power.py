@@ -1,0 +1,75 @@
+"""Table IV: per-benchmark FPGA resources and power on Cyclone V.
+
+Paper rows: 3-5 tiles, 120-223 MHz, 4.4k-14k ALMs, ~1 W designs; the
+loop benchmarks use 3 M20Ks while the recursive pair (fib 62, mergesort
+74) spends block RAM on deep task queues; mergesort is the largest design
+at ~half the chip and ~1.5 W.
+"""
+
+import pytest
+
+from repro.accel import CYCLONE_V
+from repro.reports import (
+    estimate_mhz,
+    estimate_resources,
+    fpga_power_watts,
+    render_table,
+)
+from repro.workloads import REGISTRY
+
+PAPER = {  # name -> (tiles, MHz, ALMs, Regs, BRAM, Power W)
+    "saxpy": (5, 149, 7195, 9414, 3, 0.957),
+    "stencil": (3, 142, 11927, 11543, 3, 1.272),
+    "matrix_add": (3, 223, 4702, 7025, 3, 0.677),
+    "image_scale": (4, 141, 4442, 5814, 3, 0.798),
+    "dedup": (3, 153, 10487, 6509, 3, 1.014),
+    "fibonacci": (4, 120, 5699, 9887, 62, 1.155),
+    "mergesort": (4, 134, 14098, 24775, 74, 1.491),
+}
+
+
+def measure(name):
+    workload = REGISTRY.get(name)
+    accel = workload.build()  # paper tile counts via default_config
+    report = estimate_resources(accel)
+    mhz = estimate_mhz(CYCLONE_V, report.alms)
+    watts = fpga_power_watts(report.alms, report.brams, mhz)
+    return report, mhz, watts
+
+
+def test_table4_resources_power(benchmark, save_result):
+    def run():
+        return {name: measure(name) for name in REGISTRY.names()}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in REGISTRY.names():
+        report, mhz, watts = data[name]
+        p = PAPER[name]
+        rows.append([name, REGISTRY.get(name).paper_tiles,
+                     round(mhz), p[1], report.alms, p[2],
+                     report.brams, p[4], round(watts, 2), p[5]])
+    text = render_table(
+        ["Benchmark", "Tiles", "MHz", "paper", "ALMs", "paper",
+         "BRAM", "paper", "Power", "paper"],
+        rows, title="Table IV — FPGA resources and power (Cyclone V)")
+    save_result("table4_resources_power", text)
+
+    watts = {name: data[name][2] for name in data}
+    brams = {name: data[name][0].brams for name in data}
+    alms = {name: data[name][0].alms for name in data}
+
+    # every design is a ~1 W accelerator (paper: 0.68 - 1.49 W)
+    assert all(0.4 < w < 2.5 for w in watts.values())
+    # the recursive pair spends tens of M20Ks on queue state,
+    # the loop benchmarks only a few (paper: 3 vs 62-74)
+    for name in ("fibonacci", "mergesort"):
+        assert brams[name] > 25
+    for name in ("saxpy", "stencil", "matrix_add", "image_scale", "dedup"):
+        assert brams[name] <= 6
+    # mergesort is among the largest/most power hungry designs
+    assert watts["mergesort"] >= sorted(watts.values())[-3]
+    # everything fits comfortably on the Cyclone V (paper: <= ~50% chip)
+    for name, a in alms.items():
+        assert a < 0.9 * CYCLONE_V.alm_capacity, name

@@ -1,0 +1,147 @@
+"""Table V: Intel HLS vs TAPAS on the two statically-parallel kernels.
+
+Paper result (Cyclone V, 270 ns DRAM, unroll 3 vs 3 tiles): runtimes are
+at parity (image 20 vs 21 ms, saxpy 103 vs 99 ms) and ALM/MHz are
+comparable, but the block-RAM split differs sharply — Intel HLS burns
+38-67 M20Ks on LSU stream buffers while TAPAS uses ~10-11 (a shared 16K
+L1 plus task queues).
+
+For the TAPAS side the designer picks a sensible grain (8-element
+chunks), exactly as the paper's authors configure their runs; both flows
+then hit the same DRAM bandwidth wall, which is where the parity comes
+from.
+"""
+
+import pytest
+
+from repro.accel import CYCLONE_V, AcceleratorConfig, TaskUnitParams, build_accelerator
+from repro.baselines import IMAGE_SCALE_SPEC, SAXPY_SPEC, synthesize_static
+from repro.frontend import compile_source
+from repro.ir.opsem import eval_binop, to_f32
+from repro.ir.types import F32, I32
+from repro.reports import estimate_mhz, estimate_resources, render_table
+
+UNROLL = 3
+TILES = 3
+N_ELEMENTS = 4096
+CHUNK = 8
+
+SAXPY_CHUNKED = """
+func saxpy(a: f32, x: f32*, y: f32*, n: i32) {
+  cilk_for (var c: i32 = 0; c < n; c = c + 8) {
+    for (var k: i32 = 0; k < 8; k = k + 1) {
+      y[c + k] = a * x[c + k] + y[c + k];
+    }
+  }
+}
+"""
+
+IMAGE_CHUNKED = """
+// 2x horizontal upscale, chunked by 8 output pixels per task
+func image_scale(in: i32*, out: i32*, n: i32) {
+  cilk_for (var c: i32 = 0; c < n; c = c + 8) {
+    for (var k: i32 = 0; k < 8; k = k + 1) {
+      var x: i32 = c + k;
+      var sx: i32 = x / 2;
+      var v: i32 = in[sx];
+      if (x % 2 == 1) {
+        v = (v + in[sx + 1]) / 2;
+      }
+      out[x] = v;
+    }
+  }
+}
+"""
+
+
+def run_tapas_saxpy():
+    module = compile_source(SAXPY_CHUNKED, "saxpy_t5")
+    config = AcceleratorConfig(default_ntiles=TILES)
+    accel = build_accelerator(module, config)
+    xs = [to_f32(0.25 * i) for i in range(N_ELEMENTS)]
+    ys = [to_f32(1.0)] * N_ELEMENTS
+    a = 2.5
+    base_x = accel.memory.alloc_array(F32, xs)
+    base_y = accel.memory.alloc_array(F32, ys)
+    result = accel.run("saxpy", [a, base_x, base_y, N_ELEMENTS])
+    got = accel.memory.read_array(base_y, F32, N_ELEMENTS)
+    expected = [eval_binop("fadd", F32, eval_binop("fmul", F32, a, x), y)
+                for x, y in zip(xs, ys)]
+    assert got == expected
+    return accel, result
+
+
+def run_tapas_image():
+    module = compile_source(IMAGE_CHUNKED, "image_t5")
+    config = AcceleratorConfig(default_ntiles=TILES)
+    accel = build_accelerator(module, config)
+    pixels = [(7 * i) % 256 for i in range(N_ELEMENTS // 2 + 2)]
+    base_in = accel.memory.alloc_array(I32, pixels)
+    base_out = accel.memory.alloc_array(I32, [0] * N_ELEMENTS)
+    result = accel.run("image_scale", [base_in, base_out, N_ELEMENTS])
+    got = accel.memory.read_array(base_out, I32, N_ELEMENTS)
+    expected = []
+    for x in range(N_ELEMENTS):
+        sx = x // 2
+        v = pixels[sx]
+        if x % 2 == 1:
+            v = (v + pixels[sx + 1]) // 2
+        expected.append(v)
+    assert got == expected
+    return accel, result
+
+
+def test_table5_intel_hls_vs_tapas(benchmark, save_result):
+    def run():
+        rows = {}
+        for name, spec, runner in (
+                ("saxpy", SAXPY_SPEC, run_tapas_saxpy),
+                ("image_scale", IMAGE_SCALE_SPEC, run_tapas_image)):
+            intel = synthesize_static(spec, iterations=N_ELEMENTS,
+                                      unroll=UNROLL)
+            accel, result = runner()
+            report = estimate_resources(accel, include_cache=True)
+            mhz = estimate_mhz(CYCLONE_V, report.alms)
+            rows[name] = {
+                "intel": intel,
+                "tapas_cycles": result.cycles,
+                "tapas_mhz": mhz,
+                "tapas_alms": report.alms,
+                "tapas_regs": report.regs,
+                "tapas_brams": report.brams,
+            }
+        return rows
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table_rows = []
+    for name, d in data.items():
+        intel = d["intel"]
+        tapas_us = d["tapas_cycles"] / d["tapas_mhz"]
+        intel_us = intel.cycles / intel.mhz
+        table_rows.append([name, "Intel HLS", round(intel.mhz), intel.alms,
+                           intel.registers, intel.brams,
+                           round(intel_us, 1)])
+        table_rows.append([name, "TAPAS", round(d["tapas_mhz"]),
+                           d["tapas_alms"], d["tapas_regs"],
+                           d["tapas_brams"], round(tapas_us, 1)])
+    text = render_table(
+        ["Bench", "Tool", "MHz", "ALMs", "Reg", "BRAM", "us"],
+        table_rows,
+        title=f"Table V — Intel HLS (unroll {UNROLL}) vs TAPAS "
+              f"({TILES} tiles), {N_ELEMENTS} elements")
+    save_result("table5_intel_hls", text)
+
+    for name, d in data.items():
+        intel = d["intel"]
+        tapas_seconds = d["tapas_cycles"] / (d["tapas_mhz"] * 1e6)
+        intel_seconds = intel.cycles / (intel.mhz * 1e6)
+        ratio = tapas_seconds / intel_seconds
+        # paper: runtime parity (20/21 ms and 103/99 ms)
+        assert 0.4 < ratio < 2.5, f"{name}: runtime ratio {ratio:.2f}"
+        # paper: clocks in the same band (146-181 MHz)
+        assert abs(d["tapas_mhz"] - intel.mhz) / intel.mhz < 0.25
+        # paper's signature: the BRAM split. Intel HLS spends 38-67 M20Ks
+        # on stream buffers; TAPAS ~10 (L1 + queues).
+        assert intel.brams > 2.5 * d["tapas_brams"]
+        assert d["tapas_brams"] <= 16

@@ -1,0 +1,31 @@
+"""Shared benchmark infrastructure.
+
+Every bench regenerates one table or figure from the paper's evaluation
+(§V). The reproduced rows are printed and also written to
+``results/<name>.txt`` so EXPERIMENTS.md can reference them.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "..", "results")
+
+
+@pytest.fixture
+def save_result():
+    """Print a reproduced table and persist it under results/."""
+
+    def _save(name: str, text: str):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,60 @@
+"""The paper's Fig 1 scenario: a dynamic task pipeline (PARSEC Dedup).
+
+Demonstrates the three things static HLS pipelines cannot express:
+  * the pipeline length is decided at run time (sentinel-terminated);
+  * stage 2 (compression) is *conditional* — duplicates skip it;
+  * stage spawning is heterogeneous (three different task units).
+
+The example runs the pipeline, prints a per-stage execution trace (the
+Fig 1 "task graph execution" view) and the per-unit statistics.
+
+Run:  python examples/dedup_pipeline.py
+"""
+
+from repro.accel import build_accelerator
+from repro.ir.types import I32
+from repro.sim import Trace
+from repro.workloads import Dedup
+
+
+def main():
+    workload = Dedup()
+    trace = Trace(enabled=True)
+    accel = build_accelerator(workload.fresh_module(),
+                              workload.default_config(), trace=trace)
+    prepared = workload.prepare(accel.memory, scale=1)
+    result = accel.run(prepared.function, prepared.args)
+    assert prepared.check(accel.memory, result.retval)
+
+    chunks = prepared.work_items
+    out_base = prepared.args[2]
+    out = accel.memory.read_array(out_base, I32, chunks)
+    dups = sum(1 for v in out if v == -2)
+
+    print("=== Dedup pipeline (paper Fig 1) ===")
+    print(f"chunks processed : {chunks}")
+    print(f"duplicates found : {dups} (skipped stage 2 entirely)")
+    print(f"compressed chunks: {chunks - dups}")
+    print(f"total cycles     : {result.cycles}")
+
+    print("\n=== Per-stage task units ===")
+    for name, stats in result.stats["units"].items():
+        print(f"{name:22s} spawns={stats['spawns_accepted']:>3} "
+              f"completed={stats['completed']:>3} "
+              f"peak queue={stats['queue']['peak_occupancy']}")
+
+    print("\n=== First spawn events (Fig 1 execution view) ===")
+    spawn_events = [e for e in trace.events if e.kind == "spawn-in"][:12]
+    for event in spawn_events:
+        print(event)
+
+    # show the dynamic-pipeline property: conditional stage-2 traffic
+    process = result.stats["units"]["T1:process_chunk"]
+    compress = result.stats["units"]["T0:compress_chunk"]
+    print(f"\nstage-1 tasks: {process['completed']}, "
+          f"stage-2 tasks: {compress['completed']} "
+          f"(stage 2 ran only for non-duplicates — a conditional stage)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""The paper's Fig 3/Fig 5 scenario: nested parallel loops (matrix add).
+
+Shows the hierarchical architecture TAPAS generates for a doubly nested
+cilk_for — outer loop control (T0) spawning inner loop controls (T1)
+spawning N^2 body tasks (T2) — and sweeps the Stage-3 tile parameter to
+show where the memory system saturates (the paper's Fig 15 story).
+
+Run:  python examples/nested_loops.py
+"""
+
+from repro.accel import generate
+from repro.ir.types import I32
+from repro.reports import estimate_resources
+from repro.rtl import emit_top
+from repro.workloads import MatrixAdd
+
+
+def main():
+    workload = MatrixAdd()
+    module = workload.fresh_module()
+
+    print("=== Stage 1: the extracted task hierarchy ===")
+    design = generate(module)
+    print(design.graph.describe())
+
+    print("\n=== The generated top level (Chisel-flavoured, Fig 4) ===")
+    print(emit_top(design))
+
+    print("\n=== Stage 3 sweep: tiles per task unit ===")
+    print(f"{'tiles':>6} {'cycles':>8} {'speedup':>8} {'ALMs':>7}")
+    baseline = None
+    for tiles in (1, 2, 4, 8):
+        config = workload.default_config(ntiles=tiles)
+        accel = workload.build(config)
+        prepared = workload.prepare(accel.memory, scale=2)
+        result = accel.run(prepared.function, prepared.args)
+        assert prepared.check(accel.memory, result.retval)
+        alms = estimate_resources(accel).alms
+        baseline = baseline or result.cycles
+        print(f"{tiles:>6} {result.cycles:>8} "
+              f"{baseline / result.cycles:>7.2f}x {alms:>7}")
+    print("\n(speedup saturates once the shared L1's single request port "
+          "is the bottleneck — the paper's cache-bandwidth wall)")
+
+
+if __name__ == "__main__":
+    main()

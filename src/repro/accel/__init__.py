@@ -1,0 +1,21 @@
+"""The TAPAS HLS toolchain: generation stages and elaborated accelerators."""
+
+from repro.accel.accelerator import Accelerator, RunResult, build_accelerator
+from repro.accel.config import (
+    ARRIA_10,
+    BOARDS,
+    CYCLONE_V,
+    AcceleratorConfig,
+    Board,
+    TaskUnitParams,
+)
+from repro.accel.generator import GeneratedDesign, compile_task, generate
+from repro.accel.runtime import ARM_COST_MODEL, HostCall, HostProgram
+
+__all__ = [
+    "Accelerator", "RunResult", "build_accelerator",
+    "ARRIA_10", "BOARDS", "CYCLONE_V", "AcceleratorConfig", "Board",
+    "TaskUnitParams",
+    "GeneratedDesign", "compile_task", "generate",
+    "ARM_COST_MODEL", "HostCall", "HostProgram",
+]

@@ -1,0 +1,101 @@
+"""Stage-3 parameterisation: boards, per-task-unit knobs, accelerator config.
+
+TAPAS is a parameterised hardware generator with late-stage binding
+(paper §III-D): the two headline parameters are the task-queue depth
+(Ntasks) and the tile count (Ntiles), settable per task unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.memory.cache import CacheParams
+from repro.task.txu import DEFAULT_LATENCIES
+
+
+@dataclass(frozen=True)
+class Board:
+    """An FPGA target. Frequencies/capacities from the paper's Table III."""
+
+    name: str
+    base_mhz: float          # achievable clock for a small design
+    alm_capacity: int        # adaptive logic modules on the chip
+    bram_capacity: int       # M20K block RAMs
+    dram_latency_ns: float = 270.0   # Table V setup
+
+    def dram_latency_cycles(self, mhz: Optional[float] = None) -> int:
+        mhz = mhz or self.base_mhz
+        return max(1, round(self.dram_latency_ns * mhz / 1000.0))
+
+
+#: Cyclone V 5CSEMA5: 32,070 ALMs, 397 M20Ks (DE1-SoC)
+CYCLONE_V = Board("Cyclone V", base_mhz=185.0, alm_capacity=32070,
+                  bram_capacity=397)
+#: Arria 10 10AS066: 251,680 ALMs, 2,131 M20Ks
+ARRIA_10 = Board("Arria 10", base_mhz=308.0, alm_capacity=251680,
+                 bram_capacity=2131)
+
+BOARDS = {b.name: b for b in (CYCLONE_V, ARRIA_10)}
+
+
+@dataclass
+class TaskUnitParams:
+    """Per-task-unit knobs bound at Stage 3."""
+
+    ntiles: int = 1
+    queue_depth: Optional[int] = None    # None -> concurrency-opt hint
+    max_inflight_per_tile: int = 8
+    databox_entries: int = 8
+    policy: Optional[str] = None         # None -> lifo iff recursive
+
+    def __post_init__(self):
+        if self.ntiles < 1:
+            raise ConfigError("ntiles must be >= 1")
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ConfigError("queue_depth must be >= 1")
+        if self.max_inflight_per_tile < 1:
+            raise ConfigError("max_inflight_per_tile must be >= 1")
+
+
+@dataclass
+class AcceleratorConfig:
+    """Everything Stage 3 needs to elaborate an accelerator."""
+
+    board: Board = CYCLONE_V
+    default_ntiles: int = 1
+    #: task-name -> overrides (task names are function names, or
+    #: "function.tN" for detached-region tasks)
+    unit_params: Dict[str, TaskUnitParams] = field(default_factory=dict)
+    cache: CacheParams = field(default_factory=CacheParams)
+    latencies: Dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LATENCIES))
+    memory_bytes: int = 1 << 22
+    dram_latency_cycles: Optional[int] = None  # None -> board default
+    #: "cache" (the paper's evaluated model: shared L1 + AXI DRAM) or
+    #: "scratchpad" (the Fig 8 alternative backend: fixed-latency SRAM,
+    #: data preloaded by the host — the streaming-HLS memory model)
+    memory_model: str = "cache"
+    scratchpad_latency: int = 2
+
+    def __post_init__(self):
+        if self.memory_model not in ("cache", "scratchpad"):
+            raise ConfigError(
+                f"unknown memory model {self.memory_model!r}")
+
+    def params_for(self, task_name: str) -> TaskUnitParams:
+        params = self.unit_params.get(task_name)
+        if params is None:
+            return TaskUnitParams(ntiles=self.default_ntiles)
+        return params
+
+    def with_tiles(self, ntiles: int) -> "AcceleratorConfig":
+        """A copy with a uniform tile count — the Fig 15 sweep knob."""
+        return replace(self, default_ntiles=ntiles,
+                       unit_params={k: replace(v, ntiles=ntiles)
+                                    for k, v in self.unit_params.items()})
+
+    def effective_dram_latency(self) -> int:
+        if self.dram_latency_cycles is not None:
+            return self.dram_latency_cycles
+        return self.board.dram_latency_cycles()

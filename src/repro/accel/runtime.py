@@ -1,0 +1,125 @@
+"""Host runtime: the heterogeneous-SoC execution model (paper §III).
+
+The boards are ARM + FPGA SoCs: TAPAS offloads the parallel functions to
+the fabric and "generates a binary for the program regions/functions
+that cannot be offloaded (e.g., due to system calls); they run on the
+ARM. All communication between the ARM and the accelerator occurs
+through shared memory."
+
+:class:`HostProgram` models exactly that: one shared :class:`MainMemory`
+image, accelerator offloads timed by the cycle simulator, host calls
+timed by an ARM cost model, with an elapsed-time ledger across both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.accel.accelerator import Accelerator
+from repro.accel.config import AcceleratorConfig, CYCLONE_V
+from repro.accel.generator import generate
+from repro.baselines.cpu import CPUCostModel, MulticoreCPU
+from repro.errors import ConfigError
+from repro.ir.module import Module
+from repro.ir.types import Type
+
+#: Cortex-A9-class host cores (DE1-SoC): ~800 MHz, dual core, in-order —
+#: the paper measures this host at ~13x slower than the i7
+ARM_COST_MODEL = CPUCostModel(
+    frequency_ghz=0.8,
+    cores=2,
+    op_cycles={
+        "alu": 1.0, "gep": 0.8, "mul": 2.0, "div": 16.0,
+        "falu": 3.0, "fmul": 3.5, "fdiv": 18.0,
+        "load": 3.0, "store": 2.0,
+        "regread": 0.5, "regwrite": 0.5, "nop": 0.0,
+        "control": 1.5, "call": 10.0, "spawn": 0.0, "sync": 0.0,
+    },
+    spawn_overhead_cycles=180.0,
+    sched_overhead_cycles=350.0,
+)
+
+
+@dataclass
+class HostCall:
+    """One completed call, host- or accelerator-side."""
+
+    function: str
+    where: str          # "fpga" or "arm"
+    retval: Any
+    seconds: float
+    cycles: Optional[int] = None
+
+
+class HostProgram:
+    """An application running on the ARM+FPGA SoC.
+
+    ``offload`` names the functions compiled into the accelerator's entry
+    points; every other function executes on the ARM model. Both sides
+    read and write the same memory image, so mixed flows (host init →
+    FPGA compute → host check) behave like the paper's deployments.
+    """
+
+    def __init__(self, module: Module, offload: Iterable[str],
+                 config: Optional[AcceleratorConfig] = None,
+                 mhz: Optional[float] = None):
+        self.module = module
+        self.offload = set(offload)
+        for name in self.offload:
+            if module.function(name) is None:
+                raise ConfigError(f"offload target '{name}' not in module")
+        self.accelerator = Accelerator(generate(module),
+                                       config or AcceleratorConfig())
+        self.memory = self.accelerator.memory
+        self._arm = MulticoreCPU(module, self.memory, ARM_COST_MODEL)
+        if mhz is None:
+            from repro.reports.frequency import estimate_mhz
+            from repro.reports.resources import estimate_resources
+
+            board = (config or AcceleratorConfig()).board
+            mhz = estimate_mhz(board,
+                               estimate_resources(self.accelerator).alms)
+        self.mhz = mhz
+        self.history: List[HostCall] = []
+
+    # -- memory convenience ---------------------------------------------------
+
+    def alloc_array(self, type_: Type, values) -> int:
+        return self.memory.alloc_array(type_, values)
+
+    def read_array(self, addr: int, type_: Type, count: int):
+        return self.memory.read_array(addr, type_, count)
+
+    # -- execution ---------------------------------------------------------
+
+    def call(self, name: str, args) -> HostCall:
+        """Run ``name``: on the fabric if offloaded, else on the ARM."""
+        if name in self.offload:
+            result = self.accelerator.run(name, args)
+            call = HostCall(function=name, where="fpga",
+                            retval=result.retval,
+                            seconds=result.cycles / (self.mhz * 1e6),
+                            cycles=result.cycles)
+        else:
+            result = self._arm.run(name, args)
+            call = HostCall(function=name, where="arm",
+                            retval=result.retval,
+                            seconds=result.time_seconds(ARM_COST_MODEL))
+        self.history.append(call)
+        return call
+
+    # -- accounting ---------------------------------------------------------
+
+    def elapsed_seconds(self) -> float:
+        return sum(c.seconds for c in self.history)
+
+    def time_breakdown(self) -> Dict[str, float]:
+        out = {"fpga": 0.0, "arm": 0.0}
+        for call in self.history:
+            out[call.where] += call.seconds
+        return out
+
+    def __repr__(self):
+        return (f"<HostProgram {self.module.name}: "
+                f"{sorted(self.offload)} on fabric, {self.mhz:.0f} MHz>")

@@ -1,0 +1,24 @@
+"""Comparison baselines: the multicore CPU and static-HLS models."""
+
+from repro.baselines.cpu import (
+    CPUCostModel,
+    CPURunResult,
+    MulticoreCPU,
+    TaskNode,
+    run_on_cpu,
+)
+from repro.baselines.static_hls import (
+    IMAGE_SCALE_SPEC,
+    SAXPY_SPEC,
+    TABLE5_SPECS,
+    StaticHLSModel,
+    StaticHLSReport,
+    StaticKernelSpec,
+    synthesize_static,
+)
+
+__all__ = [
+    "CPUCostModel", "CPURunResult", "MulticoreCPU", "TaskNode", "run_on_cpu",
+    "IMAGE_SCALE_SPEC", "SAXPY_SPEC", "TABLE5_SPECS", "StaticHLSModel",
+    "StaticHLSReport", "StaticKernelSpec", "synthesize_static",
+]

@@ -1,0 +1,167 @@
+"""Command-line driver: ``python -m repro <command> ...``.
+
+Subcommands mirror the toolchain stages:
+
+* ``compile``   — source file -> printed parallel IR
+* ``taskgraph`` — source file -> task-graph summary (or DOT with --dot)
+* ``emit``      — source file -> Chisel-flavoured or Verilog RTL
+* ``estimate``  — source file -> resources / fmax / power per board
+* ``run``       — execute a registered workload and report cycles
+* ``workloads`` — list the paper's benchmark suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.accel import (
+    ARRIA_10,
+    BOARDS,
+    CYCLONE_V,
+    AcceleratorConfig,
+    build_accelerator,
+    generate,
+)
+from repro.errors import TapasError
+from repro.frontend import compile_source
+from repro.ir import print_module
+from repro.reports import (
+    estimate_mhz,
+    estimate_resources,
+    fpga_power_watts,
+    render_table,
+    task_graph_dot,
+)
+from repro.rtl import emit_design, emit_top_verilog
+
+
+def _load_module(path: str):
+    with open(path) as handle:
+        source = handle.read()
+    name = path.rsplit("/", 1)[-1].split(".", 1)[0]
+    return compile_source(source, name)
+
+
+def cmd_compile(args) -> int:
+    print(print_module(_load_module(args.source)))
+    return 0
+
+
+def cmd_taskgraph(args) -> int:
+    design = generate(_load_module(args.source))
+    if args.dot:
+        print(task_graph_dot(design.graph))
+    else:
+        print(design.graph.describe())
+    return 0
+
+
+def cmd_emit(args) -> int:
+    design = generate(_load_module(args.source))
+    if args.language == "verilog":
+        print(emit_top_verilog(design))
+    else:
+        print(emit_design(design))
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    module = _load_module(args.source)
+    config = AcceleratorConfig(default_ntiles=args.tiles)
+    accel = build_accelerator(module, config)
+    report = estimate_resources(accel, include_cache=args.include_cache)
+    rows = []
+    for board in (CYCLONE_V, ARRIA_10):
+        mhz = estimate_mhz(board, report.alms)
+        watts = fpga_power_watts(report.alms, report.brams, mhz)
+        rows.append([board.name, report.alms, report.regs, report.brams,
+                     round(mhz, 1), round(watts, 2),
+                     round(report.chip_percent(board.alm_capacity), 1)])
+    print(render_table(
+        ["Board", "ALMs", "Regs", "BRAM", "MHz", "Power W", "%Chip"],
+        rows, title=f"Estimate for {module.name} ({args.tiles} tiles/unit)"))
+    print("\nALM breakdown:", report.breakdown())
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.workloads import REGISTRY
+
+    workload = REGISTRY.get(args.workload)
+    config = workload.default_config(
+        ntiles=args.tiles if args.tiles else None)
+    result = workload.run(config=config, scale=args.scale)
+    status = "OK" if result.correct else "WRONG RESULT"
+    print(f"{workload.name}: {status}, {result.cycles} cycles for "
+          f"{result.work_items} work items "
+          f"({result.cycles_per_item:.1f} cycles/item)")
+    if not result.correct:
+        return 1
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    from repro.workloads import REGISTRY
+
+    rows = [[w.name, w.challenge, w.memory_pattern, w.paper_tiles]
+            for w in REGISTRY.all()]
+    print(render_table(["Name", "HLS challenge", "Memory", "Tiles (Table IV)"],
+                       rows, title="Benchmark suite (paper Table II)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TAPAS reproduction toolchain (MICRO 2018)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="print the parallel IR for a source file")
+    p.add_argument("source")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("taskgraph", help="show the extracted task graph")
+    p.add_argument("source")
+    p.add_argument("--dot", action="store_true", help="emit GraphViz DOT")
+    p.set_defaults(func=cmd_taskgraph)
+
+    p = sub.add_parser("emit", help="emit generated RTL")
+    p.add_argument("source")
+    p.add_argument("--language", choices=["chisel", "verilog"],
+                   default="chisel")
+    p.set_defaults(func=cmd_emit)
+
+    p = sub.add_parser("estimate", help="resource/fmax/power estimate")
+    p.add_argument("source")
+    p.add_argument("--tiles", type=int, default=1)
+    p.add_argument("--include-cache", action="store_true")
+    p.set_defaults(func=cmd_estimate)
+
+    p = sub.add_parser("run", help="run a registered workload")
+    p.add_argument("workload")
+    p.add_argument("--tiles", type=int, default=0)
+    p.add_argument("--scale", type=int, default=1)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("workloads", help="list the benchmark suite")
+    p.set_defaults(func=cmd_workloads)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except TapasError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

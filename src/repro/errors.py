@@ -1,0 +1,71 @@
+"""Exception hierarchy shared across the TAPAS reproduction toolchain."""
+
+
+class TapasError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IRError(TapasError):
+    """Malformed IR: type mismatch, bad operand, broken invariant."""
+
+
+class VerificationError(IRError):
+    """Raised by the IR verifier with a description of every violation."""
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        super().__init__("; ".join(self.problems))
+
+
+class FrontendError(TapasError):
+    """Base class for errors in the Cilk-like language frontend."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}:{column or 0}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Unrecognised character or malformed token."""
+
+
+class ParseError(FrontendError):
+    """Syntax error while parsing the Cilk-like language."""
+
+
+class SemanticError(FrontendError):
+    """Type error or misuse of a name in an otherwise well-formed parse."""
+
+
+class PassError(TapasError):
+    """A compiler pass was applied to IR it cannot handle."""
+
+
+class SynthesisError(TapasError):
+    """The HLS toolchain could not generate an accelerator."""
+
+
+class SimulationError(TapasError):
+    """The cycle-level simulator reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No component made progress for an entire settling window."""
+
+    def __init__(self, cycle, detail=""):
+        self.cycle = cycle
+        message = f"simulation deadlocked at cycle {cycle}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class MemoryError_(SimulationError):
+    """Out-of-range or misaligned access in the simulated memory system."""
+
+
+class ConfigError(TapasError):
+    """Invalid hardware parameterisation (Stage 3)."""

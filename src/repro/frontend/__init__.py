@@ -1,0 +1,13 @@
+"""Cilk-like language frontend: lexer, parser, semantic analysis, lowering."""
+
+from repro.frontend.lexer import Lexer, Token, tokenize
+from repro.frontend.lower import compile_source, lower_program
+from repro.frontend.parser import Parser, parse
+from repro.frontend.sema import Sema, analyze
+
+__all__ = [
+    "Lexer", "Token", "tokenize",
+    "compile_source", "lower_program",
+    "Parser", "parse",
+    "Sema", "analyze",
+]

@@ -1,0 +1,195 @@
+"""AST for the Cilk-like frontend language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ir.types import Type
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# -- expressions -----------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    #: filled in by semantic analysis
+    type: Optional[Type] = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — base is a pointer or global array."""
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class AddrOf(Expr):
+    """``&base[index]`` or ``&name`` — address without the load."""
+    target: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    declared_type: Optional[Type] = None
+    init: Optional[Expr] = None
+    #: ``var x: T = spawn f(...)`` — result arrives via a frame slot
+    spawn_init: Optional[CallExpr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Optional[Expr] = None   # VarRef or Index
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    condition: Optional[Expr] = None
+    then_body: Optional[Block] = None
+    else_body: Optional[Stmt] = None  # Block or nested If
+
+
+@dataclass
+class While(Stmt):
+    condition: Optional[Expr] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class For(Stmt):
+    """``for`` / ``cilk_for`` with assignment init/step clauses."""
+    init: Optional[Stmt] = None      # VarDecl or Assign
+    condition: Optional[Expr] = None
+    step: Optional[Assign] = None
+    body: Optional[Block] = None
+    parallel: bool = False           # True for cilk_for
+
+
+@dataclass
+class SpawnStmt(Stmt):
+    """``spawn f(...);`` or ``spawn { ... }`` (pipe stage)."""
+    call: Optional[CallExpr] = None
+    block: Optional[Block] = None
+
+
+@dataclass
+class SyncStmt(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None      # calls only (checked by sema)
+
+
+# -- declarations -----------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type: Optional[Type] = None
+
+
+@dataclass
+class GlobalDecl(Node):
+    """``global name: T[count];`` — a shared-memory array."""
+    name: str = ""
+    element_type: Optional[Type] = None
+    count: int = 0
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    return_type: Optional[Type] = None   # None = void
+    body: Optional[Block] = None
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)
+
+
+def walk(node):
+    """Yield every AST node in a subtree (pre-order)."""
+    if node is None:
+        return
+    yield node
+    for name in getattr(node, "__dataclass_fields__", {}):
+        value = getattr(node, name)
+        if isinstance(value, Node):
+            yield from walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield from walk(item)
+
+
+def contains_spawn(node) -> bool:
+    """True if the subtree spawns tasks (SpawnStmt or cilk_for)."""
+    for n in walk(node):
+        if isinstance(n, SpawnStmt):
+            return True
+        if isinstance(n, For) and n.parallel:
+            return True
+    return False

@@ -1,0 +1,139 @@
+"""Lexer for the Cilk-like frontend language.
+
+TAPAS is language agnostic — anything that lowers to the parallel IR
+works (§III-F). This small language provides ``cilk_for``, ``spawn``,
+``sync`` and ``spawn { ... }`` pipe-stage blocks, which covers every
+concurrency pattern in the paper's benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "func", "var", "global", "if", "else", "while", "for", "cilk_for",
+    "spawn", "sync", "return", "i8", "i16", "i32", "i64", "f32",
+}
+
+#: multi-character operators, longest first so maximal munch works
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    ";", ",", ":", "(", ")", "{", "}", "[", "]",
+]
+
+
+@dataclass
+class Token:
+    kind: str       # 'ident', 'int', 'float', 'op', 'keyword', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.column}>"
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _peek(self, offset=0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self, count=1) -> str:
+        text = self.source[self.pos:self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_trivia(self):
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line = self.line
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start_line, 0)
+            else:
+                return
+
+    def tokens(self) -> List[Token]:
+        result = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.kind == "eof":
+                return result
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        if self.pos >= len(self.source):
+            return Token("eof", "", line, column)
+        ch = self._peek()
+
+        if ch.isalpha() or ch == "_":
+            text = ""
+            while self._peek().isalnum() or self._peek() == "_":
+                text += self._advance()
+            kind = "keyword" if text in KEYWORDS else "ident"
+            return Token(kind, text, line, column)
+
+        if ch.isdigit():
+            return self._number(line, column)
+
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, line, column)
+
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    def _number(self, line, column) -> Token:
+        text = ""
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            text += self._advance(2)
+            # note: guard against peek() == "" at EOF ("" is a substring
+            # of any string, so a bare `in` test would never terminate)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                text += self._advance()
+            if len(text) == 2:
+                raise LexError("malformed hex literal", line, column)
+            return Token("int", text, line, column)
+        while self._peek().isdigit():
+            text += self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            text += self._advance()
+            while self._peek().isdigit():
+                text += self._advance()
+            return Token("float", text, line, column)
+        if self._peek().isalpha():
+            raise LexError(f"malformed number near {text!r}", line, column)
+        return Token("int", text, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    return Lexer(source).tokens()

@@ -1,0 +1,497 @@
+"""Lowering: Cilk-like AST -> Tapir-style parallel IR.
+
+The parallel constructs map onto the three Tapir instructions exactly as
+the paper describes (§III-F):
+
+* ``spawn f(...)``            -> detach { call f; reattach }
+* ``var x: T = spawn f(...)`` -> frame slot + detach { call; store; reattach }
+  (the §IV-C shared-cache return path)
+* ``spawn { ... }``           -> detach { region ; reattach }  (pipe stage)
+* ``cilk_for``                -> loop whose body detaches each iteration,
+  with an implicit ``sync`` at loop exit (Fig 2's root-task pattern)
+* ``sync``                    -> sync
+
+Variables declared outside a spawned region are captured **by value**:
+their current value is loaded in the parent block before the detach and
+marshalled through the child's Args RAM. Writable locals never cross task
+boundaries — there is no register coherence between task units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SemanticError
+from repro.frontend import ast
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze
+from repro.ir import (
+    Function,
+    IRBuilder,
+    Module,
+    verify_module,
+)
+from repro.ir.types import F32, I1, IntType, PointerType, Type, VOID
+from repro.ir.values import Constant, GlobalVariable, Value
+
+_INT_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+            "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr"}
+_FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+_ICMP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+_FCMP = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole", ">": "ogt", ">=": "oge"}
+
+
+@dataclass
+class Binding:
+    kind: str        # 'value', 'slot', 'frame_slot', 'global'
+    value: Value
+    type: Type
+
+
+class FunctionLowerer:
+    def __init__(self, module: Module, functions: Dict[str, Function],
+                 globals_: Dict[str, GlobalVariable], decl: ast.FuncDecl):
+        self.module = module
+        self.functions = functions
+        self.globals = globals_
+        self.decl = decl
+        self.function = functions[decl.name]
+        self.builder = IRBuilder()
+        self.scopes: List[Dict[str, Binding]] = []
+        self.terminated = False
+        self.has_spawns = ast.contains_spawn(decl)
+        self._block_counter = 0
+
+    # -- scope management --------------------------------------------------
+
+    def _push(self):
+        self.scopes.append({})
+
+    def _pop(self):
+        self.scopes.pop()
+
+    def _bind(self, name: str, binding: Binding):
+        self.scopes[-1][name] = binding
+
+    def _lookup(self, name: str) -> Binding:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.globals:
+            var = self.globals[name]
+            return Binding("global", var, var.type)
+        raise SemanticError(f"undefined variable '{name}'")
+
+    def _new_block(self, hint: str):
+        self._block_counter += 1
+        return self.function.add_block(f"{hint}{self._block_counter}")
+
+    # -- entry ---------------------------------------------------------------
+
+    def lower(self):
+        entry = self.function.add_block("entry")
+        self.builder.position_at_end(entry)
+        self._push()
+        for param, arg in zip(self.decl.params, self.function.arguments):
+            self._bind(param.name, Binding("value", arg, arg.type))
+        self._lower_block(self.decl.body)
+        if not self.terminated:
+            if self.decl.return_type is not None:
+                raise SemanticError(
+                    f"function '{self.decl.name}' can fall off the end "
+                    "without returning a value", self.decl.line)
+            self._emit_return(None)
+        self._pop()
+
+    # -- statements -----------------------------------------------------------
+
+    def _lower_block(self, block: ast.Block):
+        self._push()
+        for stmt in block.statements:
+            if self.terminated:
+                raise SemanticError("unreachable code after a terminator",
+                                    stmt.line)
+            self._lower_stmt(stmt)
+        self._pop()
+
+    def _lower_stmt(self, stmt: ast.Stmt):
+        if isinstance(stmt, ast.Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._lower_var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.SpawnStmt):
+            self._lower_spawn(stmt)
+        elif isinstance(stmt, ast.SyncStmt):
+            after = self._new_block("after_sync")
+            self.builder.sync(after)
+            self.builder.position_at_end(after)
+        elif isinstance(stmt, ast.Return):
+            value = self._lower_expr(stmt.value) if stmt.value else None
+            self._emit_return(value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr, discard=True)
+        else:
+            raise SemanticError(f"cannot lower {type(stmt).__name__}",
+                                stmt.line)
+
+    def _emit_return(self, value: Optional[Value]):
+        if self.has_spawns:
+            # implicit Cilk sync at function exit: children's effects are
+            # visible before the parent's completion joins upward
+            ret_block = self._new_block("ret_sync")
+            self.builder.sync(ret_block)
+            self.builder.position_at_end(ret_block)
+        self.builder.ret(value)
+        self.terminated = True
+
+    def _lower_var_decl(self, stmt: ast.VarDecl):
+        if stmt.spawn_init is not None:
+            self._lower_spawn_result_decl(stmt)
+            return
+        slot = self.builder.alloca(stmt.declared_type, stmt.name)
+        if stmt.init is not None:
+            self.builder.store(self._lower_expr(stmt.init), slot)
+        self._bind(stmt.name, Binding("slot", slot, stmt.declared_type))
+
+    def _lower_spawn_result_decl(self, stmt: ast.VarDecl):
+        """``var x: T = spawn f(...)`` — detached call writing a frame slot."""
+        call = stmt.spawn_init
+        callee = self.functions[call.callee]
+        args = [self._lower_expr(a) for a in call.args]
+        slot = self.builder.alloca(stmt.declared_type, stmt.name, in_frame=True)
+
+        detached = self._new_block("spawn")
+        cont = self._new_block("cont")
+        self.builder.detach(detached, cont)
+        self.builder.position_at_end(detached)
+        result = self.builder.call(callee, args)
+        self.builder.store(result, slot)
+        self.builder.reattach(cont)
+        self.builder.position_at_end(cont)
+        self._bind(stmt.name, Binding("frame_slot", slot, stmt.declared_type))
+
+    def _lower_assign(self, stmt: ast.Assign):
+        value = self._lower_expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            binding = self._lookup(target.name)
+            if binding.kind not in ("slot", "frame_slot"):
+                raise SemanticError(
+                    f"cannot assign to '{target.name}'", stmt.line)
+            self.builder.store(value, binding.value)
+        elif isinstance(target, ast.Index):
+            self.builder.store(value, self._lower_address(target))
+        else:
+            raise SemanticError("bad assignment target", stmt.line)
+
+    def _lower_if(self, stmt: ast.If):
+        cond = self._lower_condition(stmt.condition)
+        then_block = self._new_block("then")
+        else_block = self._new_block("else") if stmt.else_body else None
+        join = self._new_block("join")
+        # explicit None test: an empty BasicBlock is falsy (len == 0)
+        self.builder.condbr(cond, then_block,
+                            join if else_block is None else else_block)
+
+        self.builder.position_at_end(then_block)
+        self._lower_block(stmt.then_body)
+        then_terminated = self.terminated
+        if not then_terminated:
+            self.builder.br(join)
+        self.terminated = False
+
+        else_terminated = False
+        if stmt.else_body is not None:
+            self.builder.position_at_end(else_block)
+            if isinstance(stmt.else_body, ast.Block):
+                self._lower_block(stmt.else_body)
+            else:
+                self._lower_stmt(stmt.else_body)
+            else_terminated = self.terminated
+            if not else_terminated:
+                self.builder.br(join)
+            self.terminated = False
+
+        if then_terminated and (stmt.else_body is not None and else_terminated):
+            # both arms returned: join is unreachable; remove it
+            self.function.blocks.remove(join)
+            del self.function._blocks_by_name[join.name]
+            self.terminated = True
+            return
+        self.builder.position_at_end(join)
+
+    def _lower_while(self, stmt: ast.While):
+        cond_block = self._new_block("while_cond")
+        body_block = self._new_block("while_body")
+        exit_block = self._new_block("while_exit")
+        self.builder.br(cond_block)
+        self.builder.position_at_end(cond_block)
+        cond = self._lower_condition(stmt.condition)
+        self.builder.condbr(cond, body_block, exit_block)
+        self.builder.position_at_end(body_block)
+        self._lower_block(stmt.body)
+        if not self.terminated:
+            self.builder.br(cond_block)
+        self.terminated = False
+        self.builder.position_at_end(exit_block)
+
+    def _lower_for(self, stmt: ast.For):
+        self._push()
+        self._lower_stmt(stmt.init)
+        cond_block = self._new_block("for_cond")
+        body_block = self._new_block("for_body")
+        latch_block = self._new_block("for_latch")
+        exit_block = self._new_block("for_exit")
+
+        self.builder.br(cond_block)
+        self.builder.position_at_end(cond_block)
+        cond = self._lower_condition(stmt.condition)
+        self.builder.condbr(cond, body_block, exit_block)
+
+        self.builder.position_at_end(body_block)
+        if stmt.parallel:
+            self._lower_detached_region(stmt.body, latch_block)
+        else:
+            self._lower_block(stmt.body)
+            if self.terminated:
+                raise SemanticError("loop body may not return", stmt.line)
+            self.builder.br(latch_block)
+
+        self.builder.position_at_end(latch_block)
+        self._lower_stmt(stmt.step)
+        self.builder.br(cond_block)
+
+        self.builder.position_at_end(exit_block)
+        if stmt.parallel:
+            # cilk_for has an implicit sync at loop exit
+            after = self._new_block("for_sync")
+            self.builder.sync(after)
+            self.builder.position_at_end(after)
+        self._pop()
+
+    def _lower_spawn(self, stmt: ast.SpawnStmt):
+        if stmt.call is not None:
+            callee = self.functions[stmt.call.callee]
+            args = [self._lower_expr(a) for a in stmt.call.args]
+            detached = self._new_block("spawn")
+            cont = self._new_block("cont")
+            self.builder.detach(detached, cont)
+            self.builder.position_at_end(detached)
+            self.builder.call(callee, args)
+            self.builder.reattach(cont)
+            self.builder.position_at_end(cont)
+            return
+        cont = self._new_block("cont")
+        self._lower_detached_region(stmt.block, cont)
+        self.builder.position_at_end(cont)
+
+    def _lower_detached_region(self, region: ast.Block, continuation):
+        """Detach ``region``; control resumes at ``continuation``.
+
+        Captures every outer scalar local the region reads by loading it
+        in the current (parent) block — the values become the child task's
+        arguments via live-in analysis.
+        """
+        captured: Dict[str, Binding] = {}
+        for name in self._captured_names(region):
+            binding = self._lookup(name)
+            if binding.kind == "slot":
+                value = self.builder.load(binding.value, f"{name}.cap")
+                captured[name] = Binding("value", value, binding.type)
+
+        detached = self._new_block("detached")
+        self.builder.detach(detached, continuation)
+        self.builder.position_at_end(detached)
+        self._push()
+        for name, binding in captured.items():
+            self._bind(name, binding)
+        self._lower_block(region)
+        self._pop()
+        if self.terminated:
+            raise SemanticError("spawned region may not return", region.line)
+        self.builder.reattach(continuation)
+
+    def _captured_names(self, region: ast.Block):
+        """Outer scalar locals read anywhere inside the region (in
+        deterministic first-use order)."""
+        names = []
+        seen = set()
+        declared_anywhere = set()
+        for node in ast.walk(region):
+            if isinstance(node, ast.VarDecl):
+                declared_anywhere.add(node.name)
+        for node in ast.walk(region):
+            if isinstance(node, ast.VarRef) and node.name not in seen:
+                seen.add(node.name)
+                if node.name in declared_anywhere:
+                    continue
+                try:
+                    binding = self._lookup(node.name)
+                except SemanticError:
+                    continue
+                if binding.kind == "slot":
+                    names.append(node.name)
+        return names
+
+    # -- expressions -----------------------------------------------------------
+
+    def _lower_condition(self, expr: ast.Expr) -> Value:
+        value = self._lower_expr(expr)
+        if value.type == I1:
+            return value
+        if isinstance(value.type, IntType):
+            return self.builder.icmp("ne", value, Constant(value.type, 0))
+        raise SemanticError("condition must be integer or boolean", expr.line)
+
+    def _lower_address(self, expr: ast.Index) -> Value:
+        base = self._lower_expr(expr.base)
+        if not base.type.is_pointer():
+            raise SemanticError("indexing a non-pointer", expr.line)
+        index = self._lower_expr(expr.index)
+        elem = base.type.pointee
+        return self.builder.gep(base, [index], [elem.size_bytes])
+
+    def _lower_expr(self, expr: ast.Expr, discard: bool = False) -> Optional[Value]:
+        if isinstance(expr, ast.IntLit):
+            return Constant(expr.type or None, expr.value) \
+                if expr.type else Constant(I32, expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return Constant(F32, expr.value)
+        if isinstance(expr, ast.VarRef):
+            binding = self._lookup(expr.name)
+            if binding.kind in ("slot", "frame_slot"):
+                return self.builder.load(binding.value, f"{expr.name}.val")
+            return binding.value
+        if isinstance(expr, ast.Index):
+            return self.builder.load(self._lower_address(expr))
+        if isinstance(expr, ast.AddrOf):
+            return self._lower_address(expr.target)
+        if isinstance(expr, ast.CallExpr):
+            callee = self.functions[expr.callee]
+            args = [self._lower_expr(a) for a in expr.args]
+            call = self.builder.call(callee, args)
+            return None if discard else call
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        raise SemanticError(f"cannot lower expression {type(expr).__name__}",
+                            expr.line)
+
+    def _lower_unary(self, expr: ast.Unary) -> Value:
+        if expr.op == "-":
+            operand = self._lower_expr(expr.operand)
+            zero = Constant(operand.type, 0 if isinstance(operand.type, IntType)
+                            else 0.0)
+            op = "sub" if isinstance(operand.type, IntType) else "fsub"
+            return self.builder.binop(op, zero, operand)
+        if expr.op == "!":
+            cond = self._lower_condition(expr.operand)
+            return self.builder.xor(cond, Constant(I1, 1))
+        raise SemanticError(f"unknown unary {expr.op}", expr.line)
+
+    def _lower_binary(self, expr: ast.Binary) -> Value:
+        if expr.op in ("&&", "||"):
+            # hardware evaluates both sides (no short circuit): document'd
+            lhs = self._lower_condition(expr.lhs)
+            rhs = self._lower_condition(expr.rhs)
+            return (self.builder.and_(lhs, rhs) if expr.op == "&&"
+                    else self.builder.or_(lhs, rhs))
+
+        lhs = self._lower_expr(expr.lhs)
+        is_float = lhs.type.is_float()
+        if not is_float and expr.op in ("*", "/", "%"):
+            reduced = self._strength_reduce(expr.op, lhs, expr.rhs)
+            if reduced is not None:
+                return reduced
+        rhs = self._lower_expr(expr.rhs)
+        if expr.op in _ICMP:
+            if is_float:
+                return self.builder.fcmp(_FCMP[expr.op], lhs, rhs)
+            return self.builder.icmp(_ICMP[expr.op], lhs, rhs)
+        table = _FLOAT_OPS if is_float else _INT_OPS
+        if expr.op not in table:
+            raise SemanticError(f"operator '{expr.op}' not supported for "
+                                f"{lhs.type!r}", expr.line)
+        return self.builder.binop(table[expr.op], lhs, rhs)
+
+    def _strength_reduce(self, op: str, lhs: Value,
+                         rhs_ast: ast.Expr) -> Optional[Value]:
+        """Strength reduction for power-of-two constants (the Stage-2
+        "Task Opt" of the toolchain): dividers are the most expensive
+        functional units in the TXU, and synthesis tools never emit one
+        for a constant power-of-two divisor.
+
+        * ``x * 2^k``  ->  ``x << k``
+        * ``x / 2^k``  ->  round-toward-zero shift sequence
+          ``(x + ((x >>s 31) >>u (32-k))) >>s k`` (exact for negatives)
+        * ``x % 2^k``  ->  ``x - (x / 2^k) << k``
+        """
+        if not isinstance(rhs_ast, ast.IntLit):
+            return None
+        divisor = rhs_ast.value
+        if divisor <= 0 or divisor & (divisor - 1):
+            return None  # not a positive power of two
+        k = divisor.bit_length() - 1
+        type_ = lhs.type
+        if not isinstance(type_, IntType):
+            return None
+        if op == "*":
+            if k == 0:
+                return lhs
+            return self.builder.shl(lhs, Constant(type_, k))
+        # signed division rounding toward zero: bias negatives by 2^k - 1
+        if k == 0:
+            quotient = lhs
+        else:
+            bits = type_.bits
+            sign = self.builder.ashr(lhs, Constant(type_, bits - 1))
+            bias = self.builder.binop("lshr", sign, Constant(type_, bits - k))
+            biased = self.builder.add(lhs, bias)
+            quotient = self.builder.ashr(biased, Constant(type_, k))
+        if op == "/":
+            return quotient
+        # op == "%": remainder = x - quotient * 2^k
+        scaled = (quotient if k == 0
+                  else self.builder.shl(quotient, Constant(type_, k)))
+        return self.builder.sub(lhs, scaled)
+
+
+def lower_program(program: ast.Program, name: str = "program") -> Module:
+    """Lower an analysed AST to a verified IR module."""
+    module = Module(name)
+    globals_: Dict[str, GlobalVariable] = {}
+    for decl in program.globals:
+        var = module.add_global(
+            decl.name, PointerType(decl.element_type),
+            decl.element_type.size_bytes * decl.count)
+        globals_[decl.name] = var
+
+    functions: Dict[str, Function] = {}
+    for decl in program.functions:
+        func = Function(decl.name, [p.type for p in decl.params],
+                        [p.name for p in decl.params],
+                        decl.return_type or VOID)
+        module.add_function(func)
+        functions[decl.name] = func
+
+    for decl in program.functions:
+        FunctionLowerer(module, functions, globals_, decl).lower()
+
+    verify_module(module)
+    return module
+
+
+def compile_source(source: str, name: str = "program") -> Module:
+    """Front door: Cilk-like source text -> verified parallel IR module."""
+    program = analyze(parse(source))
+    return lower_program(program, name)

@@ -1,0 +1,369 @@
+"""Semantic analysis: name resolution, type checking, parallelism rules.
+
+Annotates expression nodes with their types and enforces the rules the
+hardware model depends on:
+
+* a variable declared outside a ``spawn``/``cilk_for`` region is read-only
+  inside it (it is captured by value and marshalled through the child's
+  Args RAM — writes would race, and there is no register coherence
+  between task units);
+* ``return`` may not appear inside a spawned region;
+* statement-position expressions must be calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SemanticError
+from repro.frontend import ast
+from repro.ir.types import F32, I1, I32, IntType, PointerType, Type
+
+
+@dataclass
+class VarInfo:
+    name: str
+    type: Type
+    kind: str          # 'local', 'param', 'global', 'spawn_result'
+    spawn_depth: int   # nesting level of spawn regions at declaration
+
+
+@dataclass
+class FuncSig:
+    name: str
+    param_types: List[Type]
+    return_type: Optional[Type]
+
+
+class Sema:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.functions: Dict[str, FuncSig] = {}
+        self.globals: Dict[str, VarInfo] = {}
+        self._scopes: List[Dict[str, VarInfo]] = []
+        self._spawn_depth = 0
+        self._current: Optional[FuncSig] = None
+
+    # -- scope helpers -------------------------------------------------------
+
+    def _push(self):
+        self._scopes.append({})
+
+    def _pop(self):
+        self._scopes.pop()
+
+    def _declare(self, info: VarInfo, line: int):
+        scope = self._scopes[-1]
+        if info.name in scope:
+            raise SemanticError(f"redeclaration of '{info.name}'", line)
+        scope[info.name] = info
+
+    def _lookup(self, name: str) -> Optional[VarInfo]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return self.globals.get(name)
+
+    # -- entry point -----------------------------------------------------------
+
+    def check(self) -> ast.Program:
+        for decl in self.program.globals:
+            if decl.name in self.globals:
+                raise SemanticError(f"duplicate global '{decl.name}'", decl.line)
+            if decl.count <= 0:
+                raise SemanticError(f"global '{decl.name}' needs a positive "
+                                    "element count", decl.line)
+            self.globals[decl.name] = VarInfo(
+                decl.name, PointerType(decl.element_type), "global", 0)
+
+        for func in self.program.functions:
+            if func.name in self.functions:
+                raise SemanticError(f"duplicate function '{func.name}'", func.line)
+            if func.name in self.globals:
+                raise SemanticError(
+                    f"'{func.name}' is both a global and a function", func.line)
+            self.functions[func.name] = FuncSig(
+                func.name, [p.type for p in func.params], func.return_type)
+
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.program
+
+    def _check_function(self, func: ast.FuncDecl):
+        self._current = self.functions[func.name]
+        self._spawn_depth = 0
+        self._push()
+        seen = set()
+        for param in func.params:
+            if param.name in seen:
+                raise SemanticError(f"duplicate parameter '{param.name}'",
+                                    func.line)
+            seen.add(param.name)
+            self._declare(VarInfo(param.name, param.type, "param", 0), func.line)
+        self._check_block(func.body)
+        self._pop()
+        self._current = None
+
+    # -- statements ---------------------------------------------------------
+
+    def _check_block(self, block: ast.Block):
+        self._push()
+        for stmt in block.statements:
+            self._check_stmt(stmt)
+        self._pop()
+
+    def _check_stmt(self, stmt: ast.Stmt):
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._check_condition(stmt.condition)
+            self._check_block(stmt.then_body)
+            if stmt.else_body is not None:
+                self._check_stmt(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            self._check_condition(stmt.condition)
+            self._check_block(stmt.body)
+        elif isinstance(stmt, ast.For):
+            self._check_for(stmt)
+        elif isinstance(stmt, ast.SpawnStmt):
+            self._check_spawn(stmt)
+        elif isinstance(stmt, ast.SyncStmt):
+            pass
+        elif isinstance(stmt, ast.Return):
+            self._check_return(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if not isinstance(stmt.expr, ast.CallExpr):
+                raise SemanticError("expression statements must be calls",
+                                    stmt.line)
+            self._check_call(stmt.expr)  # void calls allowed in stmt position
+        else:
+            raise SemanticError(f"unknown statement {type(stmt).__name__}",
+                                stmt.line)
+
+    def _check_var_decl(self, stmt: ast.VarDecl):
+        if stmt.spawn_init is not None:
+            sig = self._check_call(stmt.spawn_init)
+            if sig.return_type is None:
+                raise SemanticError(
+                    f"spawned function '{stmt.spawn_init.callee}' returns "
+                    "nothing", stmt.line)
+            if sig.return_type != stmt.declared_type:
+                raise SemanticError(
+                    f"spawn result type {sig.return_type!r} does not match "
+                    f"'{stmt.name}: {stmt.declared_type!r}'", stmt.line)
+            kind = "spawn_result"
+        else:
+            if stmt.init is not None:
+                init_type = self._check_expr(stmt.init, expect=stmt.declared_type)
+                if init_type != stmt.declared_type:
+                    raise SemanticError(
+                        f"initialiser type {init_type!r} does not match "
+                        f"'{stmt.name}: {stmt.declared_type!r}'", stmt.line)
+            kind = "local"
+        self._declare(VarInfo(stmt.name, stmt.declared_type, kind,
+                              self._spawn_depth), stmt.line)
+
+    def _check_assign(self, stmt: ast.Assign):
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            info = self._lookup(target.name)
+            if info is None:
+                raise SemanticError(f"undefined variable '{target.name}'",
+                                    stmt.line)
+            if info.kind == "param":
+                raise SemanticError(
+                    f"cannot assign to parameter '{target.name}'", stmt.line)
+            if info.kind == "global":
+                raise SemanticError(
+                    f"cannot reassign global array '{target.name}' — "
+                    "assign to its elements", stmt.line)
+            if info.spawn_depth < self._spawn_depth:
+                raise SemanticError(
+                    f"cannot assign to '{target.name}' inside a spawned "
+                    "region: outer locals are captured by value", stmt.line)
+            target.type = info.type
+            value_type = self._check_expr(stmt.value, expect=info.type)
+            if value_type != info.type:
+                raise SemanticError(
+                    f"cannot assign {value_type!r} to "
+                    f"'{target.name}: {info.type!r}'", stmt.line)
+        elif isinstance(target, ast.Index):
+            elem_type = self._check_index(target)
+            value_type = self._check_expr(stmt.value, expect=elem_type)
+            if value_type != elem_type:
+                raise SemanticError(
+                    f"cannot store {value_type!r} into {elem_type!r} element",
+                    stmt.line)
+        else:
+            raise SemanticError("assignment target must be a variable or "
+                                "array element", stmt.line)
+
+    def _check_for(self, stmt: ast.For):
+        self._push()
+        self._check_stmt(stmt.init)
+        self._check_condition(stmt.condition)
+        if stmt.parallel:
+            self._spawn_depth += 1
+            self._check_block(stmt.body)
+            self._spawn_depth -= 1
+        else:
+            self._check_block(stmt.body)
+        self._check_stmt(stmt.step)
+        self._pop()
+
+    def _check_spawn(self, stmt: ast.SpawnStmt):
+        if stmt.call is not None:
+            self._check_call(stmt.call)
+            return
+        self._spawn_depth += 1
+        self._check_block(stmt.block)
+        self._spawn_depth -= 1
+
+    def _check_return(self, stmt: ast.Return):
+        if self._spawn_depth > 0:
+            raise SemanticError("return inside a spawned region", stmt.line)
+        want = self._current.return_type
+        if stmt.value is None:
+            if want is not None:
+                raise SemanticError(
+                    f"function returns {want!r} but return has no value",
+                    stmt.line)
+            return
+        if want is None:
+            raise SemanticError("void function returns a value", stmt.line)
+        got = self._check_expr(stmt.value, expect=want)
+        if got != want:
+            raise SemanticError(f"return type {got!r} != {want!r}", stmt.line)
+
+    def _check_condition(self, expr: ast.Expr):
+        type_ = self._check_expr(expr)
+        if not (type_ == I1 or isinstance(type_, IntType)):
+            raise SemanticError("condition must be integer or boolean",
+                                expr.line)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _check_call(self, call: ast.CallExpr) -> FuncSig:
+        sig = self.functions.get(call.callee)
+        if sig is None:
+            raise SemanticError(f"call to undefined function '{call.callee}'",
+                                call.line)
+        if len(call.args) != len(sig.param_types):
+            raise SemanticError(
+                f"'{call.callee}' takes {len(sig.param_types)} arguments, "
+                f"got {len(call.args)}", call.line)
+        for arg, want in zip(call.args, sig.param_types):
+            got = self._check_expr(arg, expect=want)
+            if got != want:
+                raise SemanticError(
+                    f"argument type {got!r} != parameter type {want!r} in "
+                    f"call to '{call.callee}'", call.line)
+        call.type = sig.return_type
+        return sig
+
+    def _check_index(self, expr: ast.Index) -> Type:
+        base_type = self._check_expr(expr.base)
+        if not base_type.is_pointer():
+            raise SemanticError("indexing requires a pointer or global array",
+                                expr.line)
+        index_type = self._check_expr(expr.index, expect=I32)
+        if not isinstance(index_type, IntType):
+            raise SemanticError("array index must be an integer", expr.line)
+        expr.type = base_type.pointee
+        return expr.type
+
+    def _check_expr(self, expr: ast.Expr, expect: Optional[Type] = None) -> Type:
+        if isinstance(expr, ast.IntLit):
+            expr.type = expect if isinstance(expect, IntType) else I32
+            return expr.type
+        if isinstance(expr, ast.FloatLit):
+            expr.type = F32
+            return F32
+        if isinstance(expr, ast.VarRef):
+            info = self._lookup(expr.name)
+            if info is None:
+                raise SemanticError(f"undefined variable '{expr.name}'",
+                                    expr.line)
+            expr.type = info.type
+            return info.type
+        if isinstance(expr, ast.Index):
+            return self._check_index(expr)
+        if isinstance(expr, ast.AddrOf):
+            target = expr.target
+            if isinstance(target, ast.Index):
+                elem = self._check_index(target)
+                expr.type = PointerType(elem)
+            else:
+                raise SemanticError("'&' supports array elements only",
+                                    expr.line)
+            return expr.type
+        if isinstance(expr, ast.CallExpr):
+            sig = self._check_call(expr)
+            if sig.return_type is None:
+                raise SemanticError(
+                    f"void call '{expr.callee}' used as a value", expr.line)
+            return sig.return_type
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr, expect)
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr, expect)
+        raise SemanticError(f"unknown expression {type(expr).__name__}",
+                            expr.line)
+
+    def _check_unary(self, expr: ast.Unary, expect) -> Type:
+        if expr.op == "-":
+            inner = self._check_expr(expr.operand, expect=expect)
+            if not (isinstance(inner, IntType) or inner.is_float()):
+                raise SemanticError("unary '-' needs a numeric operand",
+                                    expr.line)
+            expr.type = inner
+            return inner
+        if expr.op == "!":
+            self._check_condition(expr.operand)
+            expr.type = I1
+            return I1
+        raise SemanticError(f"unknown unary operator {expr.op}", expr.line)
+
+    def _check_binary(self, expr: ast.Binary, expect) -> Type:
+        op = expr.op
+        if op in ("&&", "||"):
+            self._check_condition(expr.lhs)
+            self._check_condition(expr.rhs)
+            expr.type = I1
+            return I1
+
+        lhs = self._check_expr(expr.lhs, expect=expect)
+        rhs = self._check_expr(expr.rhs, expect=lhs)
+        # a default-typed literal adopts the other side's integer type
+        if lhs != rhs and isinstance(expr.lhs, ast.IntLit) and isinstance(rhs, IntType):
+            expr.lhs.type = rhs
+            lhs = rhs
+        if lhs != rhs:
+            raise SemanticError(
+                f"operand types {lhs!r} and {rhs!r} do not match for '{op}'",
+                expr.line)
+
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lhs.is_pointer():
+                raise SemanticError("pointer comparison is not supported",
+                                    expr.line)
+            expr.type = I1
+            return I1
+        if op in ("&", "|", "^", "<<", ">>", "%"):
+            if not isinstance(lhs, IntType):
+                raise SemanticError(f"'{op}' needs integer operands", expr.line)
+        if op in ("+", "-", "*", "/"):
+            if not (isinstance(lhs, IntType) or lhs.is_float()):
+                raise SemanticError(f"'{op}' needs numeric operands", expr.line)
+        expr.type = lhs
+        return lhs
+
+
+def analyze(program: ast.Program) -> ast.Program:
+    """Type-check and annotate a parsed program."""
+    return Sema(program).check()

@@ -1,0 +1,154 @@
+"""IRBuilder: an LLVM-style convenience API for emitting instructions.
+
+Both the Cilk-like frontend lowering and hand-written tests/examples build
+IR through this class, so every construction invariant is enforced in one
+place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    Detach,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Reattach,
+    Ret,
+    Select,
+    Store,
+    Sync,
+)
+from repro.ir.types import Type
+from repro.ir.values import Value
+
+
+class IRBuilder:
+    """Appends instructions to a current insertion block."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+        self._name_counter = 0
+
+    def position_at_end(self, block: BasicBlock) -> "IRBuilder":
+        self.block = block
+        return self
+
+    def _fresh(self, hint: str) -> str:
+        self._name_counter += 1
+        return f"{hint}{self._name_counter}"
+
+    def _insert(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise IRError("IRBuilder has no insertion block")
+        return self.block.append(inst)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def binop(self, op: str, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self._insert(BinaryOp(op, lhs, rhs, name or self._fresh(op)))
+
+    def add(self, a, b, name=""):
+        return self.binop("add", a, b, name)
+
+    def sub(self, a, b, name=""):
+        return self.binop("sub", a, b, name)
+
+    def mul(self, a, b, name=""):
+        return self.binop("mul", a, b, name)
+
+    def sdiv(self, a, b, name=""):
+        return self.binop("sdiv", a, b, name)
+
+    def srem(self, a, b, name=""):
+        return self.binop("srem", a, b, name)
+
+    def and_(self, a, b, name=""):
+        return self.binop("and", a, b, name)
+
+    def or_(self, a, b, name=""):
+        return self.binop("or", a, b, name)
+
+    def xor(self, a, b, name=""):
+        return self.binop("xor", a, b, name)
+
+    def shl(self, a, b, name=""):
+        return self.binop("shl", a, b, name)
+
+    def ashr(self, a, b, name=""):
+        return self.binop("ashr", a, b, name)
+
+    def fadd(self, a, b, name=""):
+        return self.binop("fadd", a, b, name)
+
+    def fsub(self, a, b, name=""):
+        return self.binop("fsub", a, b, name)
+
+    def fmul(self, a, b, name=""):
+        return self.binop("fmul", a, b, name)
+
+    def fdiv(self, a, b, name=""):
+        return self.binop("fdiv", a, b, name)
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name="") -> ICmp:
+        return self._insert(ICmp(predicate, lhs, rhs, name or self._fresh("cmp")))
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name="") -> FCmp:
+        return self._insert(FCmp(predicate, lhs, rhs, name or self._fresh("fcmp")))
+
+    def select(self, cond, if_true, if_false, name="") -> Select:
+        return self._insert(Select(cond, if_true, if_false, name or self._fresh("sel")))
+
+    def cast(self, kind: str, value: Value, to_type: Type, name="") -> Cast:
+        return self._insert(Cast(kind, value, to_type, name or self._fresh(kind)))
+
+    # -- memory ----------------------------------------------------------------
+
+    def alloca(self, allocated_type: Type, name="", in_frame: bool = False) -> Alloca:
+        return self._insert(
+            Alloca(allocated_type, name or self._fresh("slot"), in_frame=in_frame))
+
+    def gep(self, base: Value, indices: List[Value], strides: List[int],
+            name="") -> GEP:
+        return self._insert(GEP(base, indices, strides, name or self._fresh("gep")))
+
+    def load(self, pointer: Value, name="") -> Load:
+        return self._insert(Load(pointer, name or self._fresh("ld")))
+
+    def store(self, value: Value, pointer: Value) -> Store:
+        return self._insert(Store(value, pointer))
+
+    def call(self, callee: Function, args: List[Value], name="") -> Call:
+        return self._insert(Call(callee, args, name or self._fresh("call")))
+
+    # -- terminators -----------------------------------------------------------
+
+    def br(self, dest: BasicBlock) -> Br:
+        return self._insert(Br(dest))
+
+    def condbr(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> CondBr:
+        return self._insert(CondBr(cond, if_true, if_false))
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        return self._insert(Ret(value))
+
+    def detach(self, detached: BasicBlock, continuation: BasicBlock) -> Detach:
+        return self._insert(Detach(detached, continuation))
+
+    def reattach(self, continuation: BasicBlock) -> Reattach:
+        return self._insert(Reattach(continuation))
+
+    def sync(self, continuation: BasicBlock) -> Sync:
+        return self._insert(Sync(continuation))

@@ -1,0 +1,67 @@
+"""Functions: argument lists, basic blocks, and parallel-region queries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.types import Type, VOID
+from repro.ir.values import Argument
+
+
+class Function:
+    """An IR function. Each function is also a static task (SID) in the
+    generated accelerator; detached regions inside it become further tasks."""
+
+    def __init__(self, name: str, arg_types: List[Type], arg_names: List[str],
+                 return_type: Type = VOID):
+        if len(arg_types) != len(arg_names):
+            raise IRError("argument type/name count mismatch")
+        self.name = name
+        self.return_type = return_type
+        self.arguments = [
+            Argument(t, n, i) for i, (t, n) in enumerate(zip(arg_types, arg_names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        self._blocks_by_name: Dict[str, BasicBlock] = {}
+        self.parent = None  # owning Module
+
+    # -- construction --------------------------------------------------------
+
+    def add_block(self, name: str) -> BasicBlock:
+        unique = name
+        counter = 1
+        while unique in self._blocks_by_name:
+            unique = f"{name}.{counter}"
+            counter += 1
+        block = BasicBlock(unique)
+        block.parent = self
+        self.blocks.append(block)
+        self._blocks_by_name[unique] = block
+        return block
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def block(self, name: str) -> Optional[BasicBlock]:
+        return self._blocks_by_name.get(name)
+
+    def instructions(self) -> Iterator:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def has_parallelism(self) -> bool:
+        """True if any block ends in a detach/sync (Tapir markers present)."""
+        from repro.ir.instructions import Detach, Sync
+
+        return any(isinstance(i, (Detach, Sync)) for i in self.instructions())
+
+    def __repr__(self):
+        args = ", ".join(f"{a.name}: {a.type!r}" for a in self.arguments)
+        return f"<Function {self.name}({args}) -> {self.return_type!r}>"

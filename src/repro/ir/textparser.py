@@ -1,0 +1,350 @@
+"""Textual IR parser: the inverse of :mod:`repro.ir.printer`.
+
+Round-tripping IR through text is how a compiler toolchain stays
+debuggable: dump after a pass, edit by hand, feed it back. The accepted
+grammar is exactly what :func:`repro.ir.printer.print_module` emits.
+
+Two-pass per function: first collect block labels and instruction result
+names (so forward branch targets resolve), then build instructions.
+Constants carry no explicit type in the printed form, so their type is
+inferred from context (the sibling operand, the pointee of a store
+target, the callee signature, or i32/f32 by default).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    GEP,
+    INT_BINOPS,
+    FLOAT_BINOPS,
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    Detach,
+    FCmp,
+    ICmp,
+    Load,
+    Reattach,
+    Ret,
+    Select,
+    Store,
+    Sync,
+)
+from repro.ir.module import Module
+from repro.ir.types import (
+    F32,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    VOID,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+)
+from repro.ir.values import Constant, Value
+
+_BASE_TYPES = {"i1": I1, "i8": I8, "i16": I16, "i32": I32, "i64": I64,
+               "f32": F32, "void": VOID}
+
+_FUNC_RE = re.compile(
+    r"^func @(?P<name>[\w.]+)\((?P<args>.*)\) -> (?P<ret>[\w*]+) \{$")
+_GLOBAL_RE = re.compile(
+    r"^@(?P<name>[\w.]+): (?P<type>[\w*]+) \[(?P<size>\d+) bytes\]$")
+_LABEL_RE = re.compile(r"^(?P<label>[\w.]+):$")
+_ASSIGN_RE = re.compile(r"^%(?P<dest>[\S]+) = (?P<rest>.+)$")
+
+
+def parse_type(text: str) -> Type:
+    text = text.strip()
+    stars = 0
+    while text.endswith("*"):
+        text = text[:-1]
+        stars += 1
+    if text not in _BASE_TYPES:
+        raise IRError(f"unknown type in IR text: {text!r}")
+    type_ = _BASE_TYPES[text]
+    for _ in range(stars):
+        type_ = PointerType(type_)
+    return type_
+
+
+def _split_args(text: str) -> List[str]:
+    """Split a comma-separated operand list (no nesting in this grammar
+    except call parens handled by callers)."""
+    parts = [p.strip() for p in text.split(",")]
+    return [p for p in parts if p]
+
+
+class _FunctionParser:
+    def __init__(self, module: Module, function: Function,
+                 body_lines: List[str]):
+        self.module = module
+        self.function = function
+        self.lines = body_lines
+        self.values: Dict[str, Value] = {}
+        self.blocks: Dict[str, BasicBlock] = {}
+        for arg in function.arguments:
+            self.values[arg.name] = arg
+
+    # -- operand resolution -----------------------------------------------
+
+    def _operand(self, text: str, expect: Optional[Type]) -> Value:
+        text = text.strip()
+        if text.startswith("%"):
+            name = text[1:]
+            if name not in self.values:
+                raise IRError(f"use of undefined value %{name}")
+            return self.values[name]
+        if text.startswith("@"):
+            var = self.module.global_(text[1:])
+            if var is None:
+                raise IRError(f"unknown global {text}")
+            return var
+        # constant
+        if "." in text or "e" in text or "inf" in text or "nan" in text:
+            try:
+                return Constant(expect if isinstance(expect, FloatType) else F32,
+                                float(text))
+            except ValueError:
+                pass
+        try:
+            value = int(text, 0)
+        except ValueError:
+            raise IRError(f"cannot parse operand {text!r}")
+        if isinstance(expect, (IntType, FloatType)):
+            return Constant(expect, value)
+        return Constant(I32, value)
+
+    def _infer_pair(self, a_text: str, b_text: str,
+                    default: Type) -> Tuple[Value, Value]:
+        """Resolve two operands where at most one may be an untyped
+        constant: the typed one decides."""
+        a_is_ref = a_text.strip().startswith(("%", "@"))
+        b_is_ref = b_text.strip().startswith(("%", "@"))
+        if a_is_ref:
+            a = self._operand(a_text, None)
+            b = self._operand(b_text, a.type)
+            return a, b
+        if b_is_ref:
+            b = self._operand(b_text, None)
+            a = self._operand(a_text, b.type)
+            return a, b
+        return (self._operand(a_text, default),
+                self._operand(b_text, default))
+
+    # -- two-pass parse -------------------------------------------------------
+
+    def run(self):
+        # pass 1: create blocks
+        for line in self.lines:
+            match = _LABEL_RE.match(line.strip())
+            if match:
+                label = match.group("label")
+                block = self.function.add_block(label)
+                if block.name != label:
+                    raise IRError(f"duplicate block label {label}")
+                self.blocks[label] = block
+        # pass 2: instructions (value names resolve forward within the
+        # dominance discipline because defs precede uses textually)
+        current: Optional[BasicBlock] = None
+        for line in self.lines:
+            label = _LABEL_RE.match(line.strip())
+            if label:
+                current = self.blocks[label.group("label")]
+                continue
+            text = line.strip()
+            if not text or text.startswith(";"):
+                continue
+            if current is None:
+                raise IRError(f"instruction before any label: {text}")
+            self._parse_instruction(current, text)
+
+    def _block(self, name: str) -> BasicBlock:
+        if name not in self.blocks:
+            raise IRError(f"unknown block {name!r}")
+        return self.blocks[name]
+
+    # -- instruction forms -----------------------------------------------
+
+    def _parse_instruction(self, block: BasicBlock, text: str):
+        assign = _ASSIGN_RE.match(text)
+        dest = None
+        if assign:
+            dest = assign.group("dest")
+            text = assign.group("rest")
+
+        inst = self._build(block, text, dest)
+        block.append(inst)
+        if dest is not None:
+            if dest in self.values:
+                raise IRError(f"redefinition of %{dest}")
+            inst.name = dest
+            self.values[dest] = inst
+
+    def _build(self, block, text: str, dest):
+        op, _, rest = text.partition(" ")
+        rest = rest.strip()
+
+        if op in ("alloca", "alloca.frame"):
+            return Alloca(parse_type(rest), in_frame=(op == "alloca.frame"))
+
+        if op == "load":
+            type_text, _, ptr_text = rest.partition(" ")
+            pointer = self._operand(ptr_text, None)
+            load = Load(pointer)
+            if load.type != parse_type(type_text):
+                raise IRError(f"load type mismatch in: {text}")
+            return load
+
+        if op == "store":
+            value_text, ptr_text = _split_args(rest)
+            pointer = self._operand(ptr_text, None)
+            if not pointer.type.is_pointer():
+                raise IRError(f"store to non-pointer in: {text}")
+            value = self._operand(value_text, pointer.type.pointee)
+            return Store(value, pointer)
+
+        if op == "gep":
+            base_text, _, idx_text = rest.partition("[")
+            base = self._operand(base_text, None)
+            pairs = _split_args(idx_text.rstrip("]"))
+            indices, strides = [], []
+            for pair in pairs:
+                index_text, _, stride_text = pair.rpartition("*")
+                indices.append(self._operand(index_text, I32))
+                strides.append(int(stride_text))
+            return GEP(base, indices, strides)
+
+        if op == "icmp":
+            predicate, _, operands = rest.partition(" ")
+            a, b = self._infer_pair(*_split_args(operands), default=I32)
+            return ICmp(predicate, a, b)
+
+        if op == "fcmp":
+            predicate, _, operands = rest.partition(" ")
+            a, b = self._infer_pair(*_split_args(operands), default=F32)
+            return FCmp(predicate, a, b)
+
+        if op == "select":
+            cond_text, a_text, b_text = _split_args(rest)
+            cond = self._operand(cond_text, I1)
+            a, b = self._infer_pair(a_text, b_text, default=I32)
+            return Select(cond, a, b)
+
+        if op in ("trunc", "sext", "zext", "sitofp", "fptosi", "bitcast"):
+            value_text, _, type_text = rest.partition(" to ")
+            return Cast(op, self._operand(value_text, None),
+                        parse_type(type_text))
+
+        if op == "call":
+            return self._build_call(text)
+
+        if op == "br":
+            return Br(self._block(rest))
+
+        if op == "condbr":
+            cond_text, then_text, else_text = _split_args(rest)
+            return CondBr(self._operand(cond_text, I1),
+                          self._block(then_text), self._block(else_text))
+
+        if op == "ret":
+            if not rest:
+                return Ret()
+            return Ret(self._operand(rest, self.function.return_type))
+
+        if op == "detach":
+            detached_text, continue_text = _split_args(rest)
+            if not continue_text.startswith("continue "):
+                raise IRError(f"malformed detach: {text}")
+            return Detach(self._block(detached_text),
+                          self._block(continue_text[len("continue "):]))
+
+        if op == "reattach":
+            return Reattach(self._block(rest))
+
+        if op == "sync":
+            return Sync(self._block(rest))
+
+        if op in INT_BINOPS or op in FLOAT_BINOPS:
+            type_text, _, operands = rest.partition(" ")
+            type_ = parse_type(type_text)
+            a_text, b_text = _split_args(operands)
+            return BinaryOp(op, self._operand(a_text, type_),
+                            self._operand(b_text, type_))
+
+        raise IRError(f"cannot parse instruction: {text!r}")
+
+    def _build_call(self, text: str):
+        match = re.match(r"^call @(?P<callee>[\w.]+)\((?P<args>.*)\)$",
+                         text.strip())
+        if not match:
+            raise IRError(f"malformed call: {text}")
+        callee = self.module.function(match.group("callee"))
+        if callee is None:
+            raise IRError(f"call to unknown function @{match.group('callee')}")
+        arg_texts = _split_args(match.group("args"))
+        if len(arg_texts) != len(callee.arguments):
+            raise IRError(f"argument count mismatch in: {text}")
+        args = [self._operand(t, formal.type)
+                for t, formal in zip(arg_texts, callee.arguments)]
+        return Call(callee, args)
+
+
+def parse_ir(text: str, name: str = "parsed") -> Module:
+    """Parse the printer's textual format back into a module."""
+    lines = [line.rstrip() for line in text.splitlines()]
+    module = None
+    signatures: List[Tuple[Function, List[str]]] = []
+
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        if line.startswith("; module"):
+            module = Module(line[len("; module"):].strip() or name)
+        elif _GLOBAL_RE.match(line):
+            match = _GLOBAL_RE.match(line)
+            if module is None:
+                module = Module(name)
+            module.add_global(match.group("name"),
+                              parse_type(match.group("type")),
+                              int(match.group("size")))
+        elif _FUNC_RE.match(line):
+            if module is None:
+                module = Module(name)
+            match = _FUNC_RE.match(line)
+            arg_types, arg_names = [], []
+            args_text = match.group("args").strip()
+            if args_text:
+                for piece in args_text.split(","):
+                    arg_name, _, type_text = piece.partition(":")
+                    arg_names.append(arg_name.strip())
+                    arg_types.append(parse_type(type_text))
+            function = Function(match.group("name"), arg_types, arg_names,
+                                parse_type(match.group("ret")))
+            module.add_function(function)
+            body: List[str] = []
+            index += 1
+            while index < len(lines) and lines[index].strip() != "}":
+                body.append(lines[index])
+                index += 1
+            signatures.append((function, body))
+        index += 1
+
+    if module is None:
+        raise IRError("no module content found in IR text")
+    # bodies parsed after all signatures exist, so calls resolve forward
+    for function, body in signatures:
+        _FunctionParser(module, function, body).run()
+    return module

@@ -1,0 +1,84 @@
+"""Value hierarchy for the IR: constants, arguments and instruction results.
+
+Every :class:`Value` has a :class:`~repro.ir.types.Type` and an optional
+name. Instructions (defined in :mod:`repro.ir.instructions`) are themselves
+values — an instruction *is* its result, LLVM-style.
+"""
+
+from __future__ import annotations
+
+from repro.ir.types import F32, I1, IntType, Type
+
+
+class Value:
+    """Base class for everything that can appear as an operand."""
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+
+    def short(self) -> str:
+        """Compact printable form used by the IR printer."""
+        return f"%{self.name}" if self.name else "%<anon>"
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.short()}: {self.type!r}>"
+
+
+class Constant(Value):
+    """An immediate integer or float constant."""
+
+    def __init__(self, type_: Type, value):
+        super().__init__(type_)
+        if isinstance(type_, IntType):
+            value = type_.wrap(int(value))
+        elif type_ is F32 or type_.is_float():
+            value = float(value)
+        else:
+            raise TypeError(f"constants must be int or float, got {type_!r}")
+        self.value = value
+
+    def short(self):
+        return str(self.value)
+
+    def __repr__(self):
+        return f"<Constant {self.value}: {self.type!r}>"
+
+
+def const(value, type_: Type = None) -> Constant:
+    """Build a constant, defaulting to i32 for ints and f32 for floats."""
+    from repro.ir.types import I32
+
+    if type_ is None:
+        type_ = F32 if isinstance(value, float) else I32
+    return Constant(type_, value)
+
+
+TRUE = Constant(I1, 1)
+FALSE = Constant(I1, 0)
+
+
+class Argument(Value):
+    """A formal parameter of a function (and thus of its root task)."""
+
+    def __init__(self, type_: Type, name: str, index: int):
+        super().__init__(type_, name)
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A named region of the shared memory, visible to host and accelerator.
+
+    ``size_bytes`` is reserved in the module's data segment; the host runtime
+    assigns the address at load time.
+    """
+
+    def __init__(self, type_: Type, name: str, size_bytes: int):
+        super().__init__(type_, name)
+        if size_bytes <= 0:
+            raise ValueError("global variable must have positive size")
+        self.size_bytes = size_bytes
+        self.address = None  # assigned by the runtime loader
+
+    def short(self):
+        return f"@{self.name}"

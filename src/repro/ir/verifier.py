@@ -1,0 +1,201 @@
+"""IR verifier: structural and dominance checks before synthesis.
+
+The toolchain runs this after frontend lowering and after every transform,
+the same role ``opt -verify`` plays in LLVM. Violations are collected and
+raised together as a :class:`~repro.errors.VerificationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import VerificationError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Call,
+    Detach,
+    Instruction,
+    Reattach,
+    Ret,
+    Sync,
+)
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, GlobalVariable
+
+
+def _compute_dominators(function: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Iterative dataflow dominator computation (small CFGs, clarity first)."""
+    blocks = function.blocks
+    if not blocks:
+        return {}
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in blocks}
+    for block in blocks:
+        for succ in block.successors():
+            preds[succ].append(block)
+    entry = function.entry
+    dom: Dict[BasicBlock, Set[BasicBlock]] = {
+        b: ({entry} if b is entry else set(blocks)) for b in blocks
+    }
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block is entry:
+                continue
+            pred_doms = [dom[p] for p in preds[block]]
+            new = set.intersection(*pred_doms) if pred_doms else set()
+            new = new | {block}
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom
+
+
+class Verifier:
+    """Collects problems across a module; raise with :meth:`check`."""
+
+    def __init__(self):
+        self.problems: List[str] = []
+
+    def note(self, where: str, message: str):
+        self.problems.append(f"{where}: {message}")
+
+    def verify_module(self, module: Module) -> "Verifier":
+        names = set()
+        for function in module.functions:
+            if function.name in names:
+                self.note(module.name, f"duplicate function {function.name}")
+            names.add(function.name)
+            self.verify_function(function, module)
+        return self
+
+    def verify_function(self, function: Function, module: Module = None) -> "Verifier":
+        where = f"function {function.name}"
+        if not function.blocks:
+            self.note(where, "has no basic blocks")
+            return self
+
+        block_set = set(function.blocks)
+        for block in function.blocks:
+            self._verify_block_shape(function, block, block_set, module)
+
+        self._verify_defs_dominate_uses(function)
+        self._verify_parallel_structure(function)
+        return self
+
+    # -- individual checks -----------------------------------------------------
+
+    def _verify_block_shape(self, function, block, block_set, module):
+        where = f"{function.name}:{block.name}"
+        if not block.instructions:
+            self.note(where, "is empty")
+            return
+        term = block.instructions[-1]
+        if not term.is_terminator():
+            self.note(where, "does not end in a terminator")
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator():
+                self.note(where, f"terminator {inst.opcode} before end of block")
+        for succ in block.successors():
+            if succ not in block_set:
+                self.note(where, f"successor {succ.name} not in function")
+        if isinstance(term, Ret):
+            want = function.return_type
+            if term.value is None:
+                if not want.is_void():
+                    self.note(where, "ret missing value")
+            elif term.value.type != want:
+                self.note(where, f"ret type {term.value.type!r} != {want!r}")
+        if isinstance(term, Detach) and term.detached is term.continuation:
+            self.note(where, "detach with identical detached/continuation block")
+        for inst in block.instructions:
+            if isinstance(inst, Call) and module is not None:
+                if module.function(inst.callee.name) is not inst.callee:
+                    self.note(where, f"call to {inst.callee.name} outside module")
+
+    def _verify_defs_dominate_uses(self, function):
+        dom = _compute_dominators(function)
+        positions = {}
+        for block in function.blocks:
+            for i, inst in enumerate(block.instructions):
+                positions[inst] = (block, i)
+        for block in function.blocks:
+            for i, inst in enumerate(block.instructions):
+                for op in inst.operands:
+                    if op is None or isinstance(op, (Constant, Argument, GlobalVariable)):
+                        continue
+                    if not isinstance(op, Instruction):
+                        self.note(f"{function.name}:{block.name}",
+                                  f"operand of {inst.opcode} is not a value: {op!r}")
+                        continue
+                    loc = positions.get(op)
+                    if loc is None:
+                        self.note(f"{function.name}:{block.name}",
+                                  f"{inst.opcode} uses value from another function")
+                        continue
+                    def_block, def_index = loc
+                    if def_block is block:
+                        if def_index >= i:
+                            self.note(f"{function.name}:{block.name}",
+                                      f"{inst.opcode} uses {op.short()} before definition")
+                    elif def_block not in dom.get(block, set()):
+                        self.note(f"{function.name}:{block.name}",
+                                  f"{inst.opcode} use of {op.short()} not dominated "
+                                  f"by its definition in {def_block.name}")
+
+    def _verify_parallel_structure(self, function):
+        """Each detach's detached region must reach a reattach to the
+        detach's continuation, and reattaches must match some detach."""
+        detach_continuations = set()
+        for block in function.blocks:
+            term = block.terminator
+            if isinstance(term, Detach):
+                detach_continuations.add(term.continuation)
+                # walk the detached region: blocks reachable from term.detached
+                # without passing through the continuation.
+                seen = set()
+                stack = [term.detached]
+                found_reattach = False
+                while stack:
+                    current = stack.pop()
+                    if current in seen or current is term.continuation:
+                        continue
+                    seen.add(current)
+                    inner = current.terminator
+                    if isinstance(inner, Reattach):
+                        if inner.continuation is term.continuation:
+                            found_reattach = True
+                        continue
+                    if isinstance(inner, Ret):
+                        self.note(f"{function.name}:{current.name}",
+                                  "ret inside detached region")
+                        continue
+                    stack.extend(current.successors())
+                if not found_reattach:
+                    self.note(f"{function.name}:{block.name}",
+                              "detached region never reattaches to continuation")
+        for block in function.blocks:
+            term = block.terminator
+            if isinstance(term, Reattach) and term.continuation not in detach_continuations:
+                self.note(f"{function.name}:{block.name}",
+                          "reattach with no matching detach")
+            if isinstance(term, Sync) and term.continuation not in set(function.blocks):
+                self.note(f"{function.name}:{block.name}",
+                          "sync continuation not in function")
+
+    # -- outcome ------------------------------------------------------------
+
+    def check(self):
+        if self.problems:
+            raise VerificationError(self.problems)
+
+
+def verify_module(module: Module):
+    """Verify a whole module; raises VerificationError on any problem."""
+    Verifier().verify_module(module).check()
+
+
+def verify_function(function: Function):
+    """Verify a single function; raises VerificationError on any problem."""
+    Verifier().verify_function(function).check()

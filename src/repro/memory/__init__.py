@@ -1,0 +1,19 @@
+"""Memory substrate: backing store, DRAM/AXI, shared L1 cache, data box."""
+
+from repro.memory.arbiter import Demux, RoundRobinArbiter, tree_levels
+from repro.memory.backing import MainMemory
+from repro.memory.cache import Cache, CacheParams
+from repro.memory.databox import DataBox, MemTag
+from repro.memory.dram import DEFAULT_DRAM_LATENCY, DRAMModel
+from repro.memory.messages import LOAD, STORE, MemRequest, MemResponse
+from repro.memory.scratchpad import Scratchpad
+
+__all__ = [
+    "Demux", "RoundRobinArbiter", "tree_levels",
+    "MainMemory",
+    "Cache", "CacheParams",
+    "DataBox", "MemTag",
+    "DEFAULT_DRAM_LATENCY", "DRAMModel",
+    "LOAD", "STORE", "MemRequest", "MemResponse",
+    "Scratchpad",
+]

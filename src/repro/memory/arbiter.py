@@ -1,0 +1,111 @@
+"""Arbitration and routing networks (the Fig 8 in-arbiter / out-demux).
+
+The in-arbiter is a round-robin tree merging N request streams into one;
+its pipeline latency grows with tree depth (``levels`` in the paper's
+parameter list). The out-demux routes responses back by port index.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.errors import SimulationError
+from repro.sim import Channel, Component
+
+
+def tree_levels(fan_in: int) -> int:
+    """Pipeline depth of an arbitration tree over ``fan_in`` inputs.
+
+    A 4-ary mux tree comfortably closes timing at the paper's 150-300 MHz
+    clocks, so depth grows with log4 of the fan-in: one register stage up
+    to 4 inputs, two up to 16, and so on.
+    """
+    return max(1, math.ceil(math.log(max(2, fan_in), 4)))
+
+
+class RoundRobinArbiter(Component):
+    """N-to-1 round-robin arbiter with tree pipeline latency.
+
+    Grants one input per cycle; the winning message emerges on the output
+    ``levels`` cycles later (registered tree stages).
+    """
+
+    def __init__(self, name: str, inputs: List[Channel], output: Channel,
+                 levels: int = None):
+        super().__init__(name)
+        if not inputs:
+            raise SimulationError(f"arbiter {name}: needs at least one input")
+        self.inputs = inputs
+        self.output = output
+        self.levels = tree_levels(len(inputs)) if levels is None else max(0, levels)
+        self._next = 0  # round-robin pointer
+        self._pipe: Deque[Tuple[int, object]] = deque()
+        self.grants = 0
+
+    def tick(self, cycle: int):
+        # drain the pipeline head into the output
+        if self._pipe and self._pipe[0][0] <= cycle and self.output.can_push():
+            self.output.push(self._pipe.popleft()[1])
+
+        # grant one requester round-robin; bound in-flight to tree depth+1
+        if len(self._pipe) <= self.levels:
+            n = len(self.inputs)
+            for offset in range(n):
+                idx = (self._next + offset) % n
+                if self.inputs[idx].can_pop():
+                    msg = self.inputs[idx].pop()
+                    self._pipe.append((cycle + self.levels, msg))
+                    self._next = (idx + 1) % n
+                    self.grants += 1
+                    break
+
+    def is_busy(self):
+        return bool(self._pipe)
+
+    def stats(self):
+        return {"grants": self.grants}
+
+
+class Demux(Component):
+    """1-to-N router: forwards each message to ``outputs[route(msg)]``.
+
+    The default route key is ``msg.port`` (global network, routing by task
+    unit); a custom key supports the unit-internal level of the network
+    (routing a response to the requesting tile by tag).
+    """
+
+    def __init__(self, name: str, input_: Channel, outputs: List[Channel],
+                 levels: int = None, route=None):
+        super().__init__(name)
+        if not outputs:
+            raise SimulationError(f"demux {name}: needs at least one output")
+        self.input = input_
+        self.outputs = outputs
+        self.levels = tree_levels(len(outputs)) if levels is None else max(0, levels)
+        self.route = route or (lambda msg: msg.port)
+        self._pipe: Deque[Tuple[int, object]] = deque()
+        self.routed = 0
+
+    def tick(self, cycle: int):
+        if self._pipe and self._pipe[0][0] <= cycle:
+            _, msg = self._pipe[0]
+            port = self.route(msg)
+            if port < 0 or port >= len(self.outputs):
+                raise SimulationError(
+                    f"demux {self.name}: bad port {port} of {len(self.outputs)}")
+            if self.outputs[port].can_push():
+                self._pipe.popleft()
+                self.outputs[port].push(msg)
+                self.routed += 1
+
+        if self.input.can_pop() and len(self._pipe) <= self.levels:
+            msg = self.input.pop()
+            self._pipe.append((cycle + self.levels, msg))
+
+    def is_busy(self):
+        return bool(self._pipe)
+
+    def stats(self):
+        return {"routed": self.routed}

@@ -1,0 +1,62 @@
+"""DRAM-over-AXI timing model.
+
+The paper's SoC boards reach DRAM through an AXI bus; Table V pins the
+round-trip at 270 ns (~40 cycles at the 150 MHz FPGA clock). This model is
+timing-only — functional data lives in :class:`~repro.memory.backing.MainMemory`
+and is attached by the cache.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.sim import Channel, Component
+
+#: 270 ns at 150 MHz (Table V experimental setup)
+DEFAULT_DRAM_LATENCY = 40
+
+
+class DRAMModel(Component):
+    """Fixed-latency, pipelined DRAM channel.
+
+    Accepts up to one request per cycle (an AXI read/write burst) and
+    returns completions in order after ``latency`` cycles. ``bandwidth``
+    limits completions per cycle, modelling a shared AXI data channel.
+    """
+
+    def __init__(self, name: str, request_in: Channel, response_out: Channel,
+                 latency: int = DEFAULT_DRAM_LATENCY, bandwidth: int = 1):
+        super().__init__(name)
+        self.request_in = request_in
+        self.response_out = response_out
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self._in_flight: Deque[Tuple[int, object]] = deque()
+        self.accesses = 0
+
+    def tick(self, cycle: int):
+        # retire finished accesses; only reads produce a response (write
+        # bursts consume the channel but are posted, per AXI)
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            _, msg = self._in_flight[0]
+            if not msg.is_load():
+                self._in_flight.popleft()
+                continue
+            if not self.response_out.can_push():
+                break
+            self._in_flight.popleft()
+            self.response_out.push(msg)
+            break  # one push per channel per cycle
+
+        # accept a new request
+        if self.request_in.can_pop():
+            msg = self.request_in.pop()
+            self._in_flight.append((cycle + self.latency, msg))
+            self.accesses += 1
+
+    def is_busy(self):
+        return bool(self._in_flight)
+
+    def stats(self):
+        return {"accesses": self.accesses}

@@ -1,0 +1,39 @@
+"""Message types flowing through the memory network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+LOAD = "load"
+STORE = "store"
+
+
+@dataclass
+class MemRequest:
+    """A memory operation issued by a TXU dataflow node.
+
+    ``tag`` is opaque routing state (unit, tile, instance, node indices);
+    the out-demux network uses ``tag.port`` fields to route the response
+    back (Fig 8). ``size`` in bytes; sub-word sizes exercise the staging
+    buffers' alignment logic.
+    """
+
+    tag: Any
+    op: str
+    addr: int
+    size: int
+    data: Optional[int] = None      # raw payload for stores
+    port: int = 0                   # response routing hint
+
+    def is_load(self) -> bool:
+        return self.op == LOAD
+
+
+@dataclass
+class MemResponse:
+    """Completion message routed back to the requesting dataflow node."""
+
+    tag: Any
+    data: Optional[int] = None      # raw payload for loads
+    port: int = 0

@@ -1,0 +1,49 @@
+"""Scratchpad: a private, fixed-latency memory (the data box's second
+backend in Fig 8). TAPAS evaluates the cache model only; the scratchpad is
+provided for completeness and for the ablation benches."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.memory.backing import MainMemory
+from repro.memory.messages import MemRequest, MemResponse
+from repro.sim import Channel, Component
+
+
+class Scratchpad(Component):
+    """Single-ported SRAM with deterministic access latency."""
+
+    def __init__(self, name: str, backing: MainMemory,
+                 request_in: Channel, response_out: Channel,
+                 latency: int = 1):
+        super().__init__(name)
+        self.backing = backing
+        self.request_in = request_in
+        self.response_out = response_out
+        self.latency = max(1, latency)
+        self._pipe: Deque[Tuple[int, MemResponse]] = deque()
+        self.accesses = 0
+
+    def tick(self, cycle: int):
+        if (self._pipe and self._pipe[0][0] <= cycle
+                and self.response_out.can_push()):
+            self.response_out.push(self._pipe.popleft()[1])
+
+        if self.request_in.can_pop():
+            req: MemRequest = self.request_in.pop()
+            self.accesses += 1
+            if req.is_load():
+                data = self.backing.read_int(req.addr, req.size, signed=False)
+            else:
+                self.backing.write_int(req.addr, req.size, req.data or 0)
+                data = None
+            self._pipe.append(
+                (cycle + self.latency, MemResponse(req.tag, data, port=req.port)))
+
+    def is_busy(self):
+        return bool(self._pipe)
+
+    def stats(self):
+        return {"accesses": self.accesses}

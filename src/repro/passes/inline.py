@@ -1,0 +1,234 @@
+"""Function inlining: fold small serial callees into their callers.
+
+Paper §VI ("Task controllers"): *"the task controllers and queuing logic
+add latency to the critical path ... TAPAS can benefit from statically
+scheduling such loops, and eliminating the task controllers."* Inlining
+a serial callee does exactly that — the call's spawn/join round trip
+through the callee's task unit disappears and the work joins the
+caller's own dataflow.
+
+Only safe targets are inlined: serial (no parallel markers), not
+(mutually) recursive, and small enough that duplicating the datapath is
+worth removing the controller.
+
+Return values merge through a register slot (an ``alloca`` written by
+every inlined ``ret``), which the TXU turns into a task-local register —
+no memory traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import PassError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    Detach,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Reattach,
+    Ret,
+    Select,
+    Store,
+    Sync,
+)
+from repro.ir.module import Module
+from repro.ir.values import Value
+from repro.passes.cfg import reverse_post_order
+
+DEFAULT_MAX_INSTS = 60
+
+
+def _is_serial(function: Function) -> bool:
+    return not function.has_parallelism()
+
+
+def _size(function: Function) -> int:
+    return sum(len(b.instructions) for b in function.blocks)
+
+
+def _reaches(module: Module, start: Function, target: Function) -> bool:
+    """True if ``start`` can transitively call ``target``."""
+    seen = set()
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for inst in current.instructions():
+            if isinstance(inst, Call):
+                if inst.callee is target:
+                    return True
+                stack.append(inst.callee)
+    return False
+
+
+def _clone_instruction(inst: Instruction, value_map: Dict[Value, Value],
+                       block_map: Dict[BasicBlock, BasicBlock],
+                       ret_slot: Optional[Alloca],
+                       continuation: BasicBlock) -> List[Instruction]:
+    """Clone one callee instruction into caller context. Returns the
+    instruction(s) to append (rets expand to store+br)."""
+
+    def op(value: Value) -> Value:
+        return value_map.get(value, value)
+
+    if isinstance(inst, BinaryOp):
+        return [BinaryOp(inst.op, op(inst.lhs), op(inst.rhs), inst.name)]
+    if isinstance(inst, ICmp):
+        return [ICmp(inst.predicate, op(inst.lhs), op(inst.rhs), inst.name)]
+    if isinstance(inst, FCmp):
+        return [FCmp(inst.predicate, op(inst.operands[0]),
+                     op(inst.operands[1]), inst.name)]
+    if isinstance(inst, Select):
+        c, a, b = inst.operands
+        return [Select(op(c), op(a), op(b), inst.name)]
+    if isinstance(inst, Cast):
+        return [Cast(inst.kind, op(inst.operands[0]), inst.type, inst.name)]
+    if isinstance(inst, Alloca):
+        return [Alloca(inst.allocated_type, inst.name, in_frame=inst.in_frame)]
+    if isinstance(inst, GEP):
+        return [GEP(op(inst.base), [op(i) for i in inst.indices],
+                    list(inst.strides), inst.name)]
+    if isinstance(inst, Load):
+        return [Load(op(inst.pointer), inst.name)]
+    if isinstance(inst, Store):
+        return [Store(op(inst.value), op(inst.pointer))]
+    if isinstance(inst, Call):
+        return [Call(inst.callee, [op(a) for a in inst.args], inst.name)]
+    if isinstance(inst, Br):
+        return [Br(block_map[inst.dest])]
+    if isinstance(inst, CondBr):
+        return [CondBr(op(inst.cond), block_map[inst.if_true],
+                       block_map[inst.if_false])]
+    if isinstance(inst, Ret):
+        out: List[Instruction] = []
+        if inst.value is not None and ret_slot is not None:
+            out.append(Store(op(inst.value), ret_slot))
+        out.append(Br(continuation))
+        return out
+    raise PassError(f"cannot inline instruction {inst.opcode}")
+
+
+def inline_call(caller: Function, call: Call) -> None:
+    """Inline one call site. The callee must be serial and acyclic with
+    respect to the caller (checked by the driver)."""
+    callee = call.callee
+    site_block = call.parent
+    position = site_block.instructions.index(call)
+
+    # split the caller block at the call site
+    continuation = caller.add_block(f"{site_block.name}.after_inline")
+    continuation.instructions = site_block.instructions[position + 1:]
+    for moved in continuation.instructions:
+        moved.parent = continuation
+    site_block.instructions = site_block.instructions[:position]
+
+    # a register slot carries the return value across the inlined body
+    ret_slot: Optional[Alloca] = None
+    if not callee.return_type.is_void():
+        ret_slot = Alloca(callee.return_type, f"{callee.name}.ret")
+        site_block.append(ret_slot)
+
+    # clone callee blocks (names uniquified by add_block)
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    for block in callee.blocks:
+        block_map[block] = caller.add_block(f"{callee.name}.{block.name}")
+
+    value_map: Dict[Value, Value] = {}
+    for formal, actual in zip(callee.arguments, call.args):
+        value_map[formal] = actual
+    for block in reverse_post_order(callee):
+        clone_block = block_map[block]
+        for inst in block.instructions:
+            for clone in _clone_instruction(inst, value_map, block_map,
+                                            ret_slot, continuation):
+                clone_block.append(clone)
+                if not inst.type.is_void() and not isinstance(inst, Ret):
+                    value_map[inst] = clone
+
+    # jump into the inlined entry
+    site_block.append(Br(block_map[callee.entry]))
+
+    # the call's value becomes a load of the return slot
+    if ret_slot is not None:
+        replacement = Load(ret_slot, f"{callee.name}.retval")
+        continuation.instructions.insert(0, replacement)
+        replacement.parent = continuation
+        for block in caller.blocks:
+            for inst in block.instructions:
+                if inst is not replacement:
+                    inst.replace_operand(call, replacement)
+
+
+def prune_unreachable_functions(module: Module, entry_points) -> int:
+    """Remove functions unreachable from ``entry_points`` (names). After
+    inlining, fully-absorbed callees would otherwise still elaborate into
+    task units."""
+    keep = set()
+    stack = []
+    for name in entry_points:
+        function = module.function(name)
+        if function is None:
+            raise PassError(f"unknown entry point {name!r}")
+        stack.append(function)
+    while stack:
+        current = stack.pop()
+        if current in keep:
+            continue
+        keep.add(current)
+        for inst in current.instructions():
+            if isinstance(inst, Call):
+                stack.append(inst.callee)
+    removed = 0
+    for function in list(module.functions):
+        if function not in keep:
+            module.remove_function(function)
+            removed += 1
+    return removed
+
+
+def inline_calls(module: Module, max_insts: int = DEFAULT_MAX_INSTS) -> int:
+    """Inline every eligible call site in the module; returns the count.
+
+    Eligible: the callee is serial, within the size budget, and cannot
+    call back into itself (directly or transitively).
+    """
+    inlined = 0
+    changed = True
+    while changed:
+        changed = False
+        for caller in module.functions:
+            for block in list(caller.blocks):
+                for inst in list(block.instructions):
+                    if not isinstance(inst, Call):
+                        continue
+                    callee = inst.callee
+                    if callee is caller:
+                        continue
+                    if not _is_serial(callee):
+                        continue
+                    if _size(callee) > max_insts:
+                        continue
+                    if _reaches(module, callee, callee):
+                        continue
+                    inline_call(caller, inst)
+                    inlined += 1
+                    changed = True
+                    break  # block structure changed: rescan the function
+                if changed:
+                    break
+            if changed:
+                break
+    return inlined

@@ -1,0 +1,85 @@
+"""Natural-loop detection, used for workload characterisation (Table II)
+and by the concurrency optimiser (spawner-in-loop -> deeper task queues)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Detach
+from repro.passes.cfg import predecessor_map
+from repro.passes.dominators import compute_dominators
+
+
+@dataclass
+class Loop:
+    """A natural loop: ``header`` dominates the ``latch`` back edge."""
+
+    header: BasicBlock
+    latch: BasicBlock
+    blocks: Set[BasicBlock] = field(default_factory=set)
+    parent: "Loop" = None
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        current = self.parent
+        while current is not None:
+            depth += 1
+            current = current.parent
+        return depth
+
+    def spawns_tasks(self) -> bool:
+        """True if the loop body contains a detach — a parallel loop."""
+        return any(isinstance(b.terminator, Detach) for b in self.blocks)
+
+    def __repr__(self):
+        return f"<Loop header={self.header.name} depth={self.depth}>"
+
+
+def find_loops(function: Function) -> List[Loop]:
+    """All natural loops in ``function`` with nesting links, outermost first."""
+    dom = compute_dominators(function)
+    preds = predecessor_map(function)
+    loops: List[Loop] = []
+
+    for block in function.blocks:
+        for succ in block.successors():
+            if dom.dominates(succ, block):  # back edge block -> succ
+                loop = Loop(header=succ, latch=block)
+                loop.blocks = _loop_body(succ, block, preds)
+                loops.append(loop)
+
+    # nesting: a loop is nested in the smallest other loop containing it
+    loops.sort(key=lambda l: len(l.blocks), reverse=True)
+    for i, inner in enumerate(loops):
+        best = None
+        for outer in loops:
+            if outer is inner:
+                continue
+            if inner.blocks <= outer.blocks and (
+                    best is None or len(outer.blocks) < len(best.blocks)):
+                best = outer
+        inner.parent = best
+    return loops
+
+
+def _loop_body(header: BasicBlock, latch: BasicBlock, preds) -> Set[BasicBlock]:
+    """Blocks of the natural loop: header plus everything that reaches the
+    latch without passing the header."""
+    body = {header, latch}
+    stack = [latch]
+    while stack:
+        block = stack.pop()
+        for pred in preds.get(block, []):
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def max_loop_depth(function: Function) -> int:
+    loops = find_loops(function)
+    return max((l.depth for l in loops), default=0)

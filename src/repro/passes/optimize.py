@@ -1,0 +1,175 @@
+"""IR optimisations: the "Concurrency Opt" / "Task Opt" boxes of Fig 3.
+
+Three conservative, hardware-motivated transforms:
+
+* **constant folding** — a folded operation is a wire, not a functional
+  unit: it costs zero ALMs and zero latency in the TXU;
+* **dead-code elimination** — unused pure operations would synthesise
+  real hardware (the elaborator instantiates every DFG node);
+* **block-local CSE** — duplicate pure operations in one block become a
+  single functional unit with fan-out, which is exactly what a Chisel
+  elaborator would share.
+
+All three preserve the parallel markers untouched and never touch memory
+operations, calls, or anything with side effects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    GEP,
+    BinaryOp,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    Select,
+)
+from repro.ir.module import Module
+from repro.ir.opsem import eval_binop, eval_cast, eval_fcmp, eval_gep, eval_icmp
+from repro.ir.values import Constant, Value
+
+#: instruction classes that are pure (no side effects, no memory)
+_PURE = (BinaryOp, ICmp, FCmp, Select, Cast, GEP)
+
+
+def _fold(inst: Instruction):
+    """Return a Constant replacing ``inst`` if all operands are constants."""
+    if not all(isinstance(op, Constant) for op in inst.operands):
+        return None
+    vals = [op.value for op in inst.operands]
+    try:
+        if isinstance(inst, BinaryOp):
+            return Constant(inst.type, eval_binop(inst.op, inst.type, *vals))
+        if isinstance(inst, ICmp):
+            return Constant(inst.type, eval_icmp(inst.predicate, *vals))
+        if isinstance(inst, FCmp):
+            return Constant(inst.type, eval_fcmp(inst.predicate, *vals))
+        if isinstance(inst, Select):
+            return Constant(inst.type, vals[1] if vals[0] else vals[2])
+        if isinstance(inst, Cast):
+            return Constant(inst.type, eval_cast(inst.kind, vals[0], inst.type))
+    except Exception:
+        return None  # e.g. constant division by zero: leave it to run time
+    return None
+
+
+def _replace_everywhere(function: Function, old: Instruction, new: Value) -> int:
+    count = 0
+    for block in function.blocks:
+        for inst in block.instructions:
+            count += inst.replace_operand(old, new)
+    return count
+
+
+def constant_fold(function: Function) -> int:
+    """Fold constant expressions; returns the number of folds."""
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.body()):
+                if not isinstance(inst, _PURE):
+                    continue
+                replacement = _fold(inst)
+                if replacement is None:
+                    continue
+                _replace_everywhere(function, inst, replacement)
+                block.instructions.remove(inst)
+                folded += 1
+                changed = True
+    return folded
+
+
+def eliminate_dead_code(function: Function) -> int:
+    """Remove pure instructions whose results are never used."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        used: Set[Value] = set()
+        for block in function.blocks:
+            for inst in block.instructions:
+                for op in inst.operands:
+                    used.add(op)
+        for block in function.blocks:
+            for inst in list(block.body()):
+                if isinstance(inst, _PURE) and inst not in used:
+                    block.instructions.remove(inst)
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def _cse_key(inst: Instruction):
+    """A structural hash for pure operations."""
+    ids = tuple(id(op) if not isinstance(op, Constant)
+                else ("const", op.type, op.value)
+                for op in inst.operands)
+    if isinstance(inst, BinaryOp):
+        ops = ids
+        if inst.op in ("add", "mul", "and", "or", "xor",
+                       "fadd", "fmul", "smin", "smax"):
+            ops = tuple(sorted(ids, key=repr))  # commutative
+        return ("bin", inst.op, ops)
+    if isinstance(inst, ICmp):
+        return ("icmp", inst.predicate, ids)
+    if isinstance(inst, FCmp):
+        return ("fcmp", inst.predicate, ids)
+    if isinstance(inst, Select):
+        return ("select", ids)
+    if isinstance(inst, Cast):
+        return ("cast", inst.kind, inst.type, ids)
+    if isinstance(inst, GEP):
+        return ("gep", tuple(inst.strides), ids)
+    return None
+
+
+def common_subexpression_elimination(function: Function) -> int:
+    """Share duplicate pure operations within each block."""
+    shared = 0
+    for block in function.blocks:
+        seen: Dict[tuple, Instruction] = {}
+        for inst in list(block.body()):
+            if not isinstance(inst, _PURE):
+                continue
+            key = _cse_key(inst)
+            if key is None:
+                continue
+            original = seen.get(key)
+            if original is None:
+                seen[key] = inst
+                continue
+            _replace_everywhere(function, inst, original)
+            block.instructions.remove(inst)
+            shared += 1
+    return shared
+
+
+def optimize_function(function: Function) -> Dict[str, int]:
+    """Run the full pipeline to a fixpoint; returns per-pass counts."""
+    totals = {"folded": 0, "cse": 0, "dce": 0}
+    while True:
+        folded = constant_fold(function)
+        cse = common_subexpression_elimination(function)
+        dce = eliminate_dead_code(function)
+        totals["folded"] += folded
+        totals["cse"] += cse
+        totals["dce"] += dce
+        if folded + cse + dce == 0:
+            return totals
+
+
+def optimize_module(module: Module) -> Dict[str, int]:
+    """Optimise every function; returns summed per-pass counts."""
+    totals = {"folded": 0, "cse": 0, "dce": 0}
+    for function in module.functions:
+        counts = optimize_function(function)
+        for key in totals:
+            totals[key] += counts[key]
+    return totals

@@ -1,0 +1,31 @@
+"""Reporting models: resources, frequency, power, table rendering."""
+
+from repro.reports.frequency import cycles_to_seconds, estimate_mhz
+from repro.reports.power import (
+    CPU_PACKAGE_WATTS,
+    TABLE4_ROWS,
+    cpu_power_watts,
+    fit_to_table4,
+    fpga_power_watts,
+    perf_per_watt_gain,
+)
+from repro.reports.resources import (
+    ResourceReport,
+    UnitResources,
+    estimate_resources,
+)
+from repro.reports.tables import bar_chart, render_series, render_table
+from repro.reports.visualize import (
+    execution_timeline,
+    task_graph_dot,
+    utilization_summary,
+)
+
+__all__ = [
+    "cycles_to_seconds", "estimate_mhz",
+    "CPU_PACKAGE_WATTS", "TABLE4_ROWS", "cpu_power_watts", "fit_to_table4",
+    "fpga_power_watts", "perf_per_watt_gain",
+    "ResourceReport", "UnitResources", "estimate_resources",
+    "bar_chart", "render_series", "render_table",
+    "execution_timeline", "task_graph_dot", "utilization_summary",
+]

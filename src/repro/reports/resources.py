@@ -1,0 +1,166 @@
+"""FPGA resource model: ALMs, registers, block RAMs per generated design.
+
+Stands in for Quartus synthesis. The linear structure mirrors how the
+TAPAS microarchitecture composes — per-design fixed logic, per-task-unit
+control, per-tile datapath, per-operation functional units — and the
+coefficients are calibrated against the paper's Table III points
+(1/10 tiles x 1/50 ops on Cyclone V):
+
+    ALM(t, i) ~ 670 + 610*t + 33.5*t*i
+    Reg(t, i) ~ 633 + 749*t + 42.8*t*i
+
+Block RAM follows the task queues (entry storage + suspended-context
+state) and per-instance frame memory — which is exactly where the
+paper's recursive benchmarks spend their 62-74 M20Ks (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.accel.accelerator import Accelerator
+from repro.ir.values import Value
+
+M20K_BITS = 20 * 1024
+
+#: ALMs per dataflow operation, by functional-unit class
+ALM_PER_OP = {
+    "alu": 33, "gep": 25, "mul": 150, "div": 400,
+    "falu": 430, "fmul": 390, "fdiv": 880,
+    "load": 110, "store": 110,
+    "regread": 18, "regwrite": 18, "nop": 8,
+    "control": 18, "spawn": 48, "sync": 28, "call": 48,
+}
+#: registers per operation (pipeline staging of the ready/valid fabric)
+REG_PER_OP = {
+    "alu": 43, "gep": 34, "mul": 120, "div": 300,
+    "falu": 350, "fmul": 330, "fdiv": 700,
+    "load": 130, "store": 130,
+    "regread": 24, "regwrite": 24, "nop": 10,
+    "control": 26, "spawn": 60, "sync": 36, "call": 60,
+}
+
+ALM_TILE_BASE = 130         # handshake FSMs, issue logic per tile
+ALM_MEMNET_PER_TILE = 135   # data-box share + global arbitration slice
+ALM_UNIT_CTRL = 120         # task queue control, spawn/sync ports
+ALM_DESIGN_BASE = 150       # AXI interface, host mailbox, clocking
+
+REG_TILE_BASE = 200
+REG_MEMNET_PER_TILE = 140
+REG_UNIT_CTRL = 140
+REG_DESIGN_BASE = 120
+
+#: bytes of queue metadata per entry beyond the Args RAM
+QUEUE_META_BYTES = 16
+#: bytes reserved per entry for suspended execution context (env + regs)
+SUSPEND_STATE_BYTES = 32
+
+
+@dataclass
+class UnitResources:
+    """Per-task-unit accounting, for the Fig 14 breakdown."""
+
+    name: str
+    ntiles: int
+    ctrl_alms: int
+    tile_alms: int          # all tiles together
+    memnet_alms: int
+    ctrl_regs: int
+    tile_regs: int
+    memnet_regs: int
+    ram_bits: int           # queue entries + frames; pooled into M20Ks
+    is_spawner: bool        # loop-control / parent units vs leaf workers
+
+
+@dataclass
+class ResourceReport:
+    """Design-level totals plus the Fig 14 sub-block breakdown."""
+
+    alms: int
+    regs: int
+    brams: int
+    units: List[UnitResources] = field(default_factory=list)
+    cache_brams: int = 0
+
+    def breakdown(self) -> Dict[str, int]:
+        """ALMs by sub-block, Fig 14's categories."""
+        tiles = sum(u.tile_alms for u in self.units if not u.is_spawner)
+        parallel_for = sum(u.tile_alms for u in self.units if u.is_spawner)
+        task_ctrl = sum(u.ctrl_alms for u in self.units)
+        mem_arb = sum(u.memnet_alms for u in self.units)
+        misc = self.alms - tiles - parallel_for - task_ctrl - mem_arb
+        return {
+            "tiles": tiles,
+            "parallel_for": parallel_for,
+            "task_ctrl": task_ctrl,
+            "mem_arb": mem_arb,
+            "misc": misc,
+        }
+
+    def chip_percent(self, alm_capacity: int) -> float:
+        return 100.0 * self.alms / alm_capacity
+
+
+def _value_bytes(value: Value) -> int:
+    return max(1, value.type.size_bytes)
+
+
+def _unit_resources(unit, include_suspend_state: bool = True) -> UnitResources:
+    compiled = unit.compiled
+    op_alms = 0
+    op_regs = 0
+    for dfg in compiled.dfgs.values():
+        for node in dfg.nodes:
+            op_alms += ALM_PER_OP.get(node.kind, 30)
+            op_regs += REG_PER_OP.get(node.kind, 40)
+
+    ntiles = len(unit.tiles)
+    tile_alms = ntiles * (ALM_TILE_BASE + op_alms)
+    tile_regs = ntiles * (REG_TILE_BASE + op_regs)
+    memnet_alms = ntiles * ALM_MEMNET_PER_TILE
+    memnet_regs = ntiles * REG_MEMNET_PER_TILE
+
+    # queue storage: Args RAM + metadata + suspended context, in M20Ks
+    args_bytes = sum(_value_bytes(v) for v in compiled.arg_values)
+    entry_bytes = args_bytes + QUEUE_META_BYTES
+    if include_suspend_state and compiled.task.spawns_anything():
+        entry_bytes += SUSPEND_STATE_BYTES
+    queue_bits = unit.queue.depth * entry_bytes * 8
+    frame_bits = unit.queue.depth * compiled.frame_size * 8
+
+    return UnitResources(
+        name=compiled.name,
+        ntiles=ntiles,
+        ctrl_alms=ALM_UNIT_CTRL,
+        tile_alms=tile_alms,
+        memnet_alms=memnet_alms,
+        ctrl_regs=REG_UNIT_CTRL,
+        tile_regs=tile_regs,
+        memnet_regs=memnet_regs,
+        ram_bits=queue_bits + frame_bits,
+        is_spawner=compiled.task.spawns_anything(),
+    )
+
+
+def estimate_resources(accel: Accelerator,
+                       include_cache: bool = False) -> ResourceReport:
+    """Estimate post-synthesis resources for an elaborated accelerator.
+
+    ``include_cache`` adds the shared L1's data-array M20Ks (Table V
+    reports them; Table III/IV count only the task logic).
+    """
+    units = [_unit_resources(u) for u in accel.units]
+    alms = ALM_DESIGN_BASE + sum(u.ctrl_alms + u.tile_alms + u.memnet_alms
+                                 for u in units)
+    regs = REG_DESIGN_BASE + sum(u.ctrl_regs + u.tile_regs + u.memnet_regs
+                                 for u in units)
+    # queue/frame storage pools into shared M20K blocks at design level
+    brams = max(1, -(-sum(u.ram_bits for u in units) // M20K_BITS))
+    cache_brams = 0
+    if include_cache and accel.cache is not None:
+        cache_bits = accel.cache.params.size_bytes * 8
+        cache_brams = -(-cache_bits // M20K_BITS)
+        brams += cache_brams
+    return ResourceReport(alms=alms, regs=regs, brams=brams, units=units,
+                          cache_brams=cache_brams)

@@ -1,0 +1,16 @@
+"""Chisel-flavoured RTL emission and the hardware component library."""
+
+from repro.rtl.components import (
+    KIND_TO_COMPONENT,
+    LIBRARY,
+    ComponentDef,
+    component_for_kind,
+)
+from repro.rtl.emit import emit_design, emit_top, emit_txu
+from repro.rtl.verilog import emit_top_verilog, emit_txu_verilog
+
+__all__ = [
+    "KIND_TO_COMPONENT", "LIBRARY", "ComponentDef", "component_for_kind",
+    "emit_design", "emit_top", "emit_txu",
+    "emit_top_verilog", "emit_txu_verilog",
+]

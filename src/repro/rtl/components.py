@@ -1,0 +1,86 @@
+"""The hardware component library the generated RTL instantiates.
+
+Mirrors the paper's released Chisel library: task-queue, spawn/sync
+ports, TXU dataflow nodes, data-box pieces. Each entry carries the
+module name, its parameter list and a one-line description; the emitter
+(`repro.rtl.emit`) instantiates them, and the resource model prices them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ComponentDef:
+    """One library module."""
+
+    name: str
+    params: Tuple[str, ...]
+    description: str
+
+
+LIBRARY: Dict[str, ComponentDef] = {
+    "TaskQueue": ComponentDef(
+        "TaskQueue", ("Entries", "ArgsBits"),
+        "task queue: Args RAM, ParentID, Child# counters, entry states"),
+    "SpawnPort": ComponentDef(
+        "SpawnPort", ("ArgsBits",),
+        "decoupled spawn interface (parent side)"),
+    "SyncPort": ComponentDef(
+        "SyncPort", (),
+        "decoupled join interface routed by (SID, DyID)"),
+    "TXU": ComponentDef(
+        "TXU", ("Nodes",),
+        "dynamically scheduled dataflow tile"),
+    "DataBox": ComponentDef(
+        "DataBox", ("Ports", "Entries"),
+        "in-arbiter tree + allocator table + out-demux (Fig 8)"),
+    "Cache": ComponentDef(
+        "Cache", ("SizeBytes", "LineBytes", "Ways", "MSHRs"),
+        "shared write-back L1, AXI master to DRAM"),
+    "NastiMemSlave": ComponentDef(
+        "NastiMemSlave", ("LatencyCycles",),
+        "AXI DRAM model"),
+    "TaskNetwork": ComponentDef(
+        "TaskNetwork", ("Units",),
+        "spawn/join crossbar routed by SID"),
+    # dataflow node primitives (Fig 6)
+    "ALU": ComponentDef("ALU", ("Op", "Bits"), "integer/logic unit"),
+    "Mul": ComponentDef("Mul", ("Bits",), "pipelined multiplier"),
+    "Div": ComponentDef("Div", ("Bits",), "iterative divider"),
+    "FPU": ComponentDef("FPU", ("Op",), "single-precision FP unit"),
+    "GEP": ComponentDef("GEP", ("Strides",), "address generator"),
+    "Load": ComponentDef("Load", ("Bytes",), "load node -> data box"),
+    "Store": ComponentDef("Store", ("Bytes",), "store node -> data box"),
+    "RegSlot": ComponentDef("RegSlot", ("Bits",), "task-local register"),
+    "Branch": ComponentDef("Branch", (), "control steering node"),
+    "SpawnNode": ComponentDef("SpawnNode", ("ArgsBits",), "detach site"),
+    "SyncNode": ComponentDef("SyncNode", (), "sync wait node"),
+    "CallNode": ComponentDef("CallNode", ("ArgsBits",), "blocking call site"),
+}
+
+#: dataflow-node kind -> library module
+KIND_TO_COMPONENT = {
+    "alu": "ALU",
+    "mul": "Mul",
+    "div": "Div",
+    "falu": "FPU",
+    "fmul": "FPU",
+    "fdiv": "FPU",
+    "gep": "GEP",
+    "load": "Load",
+    "store": "Store",
+    "regread": "RegSlot",
+    "regwrite": "RegSlot",
+    "nop": "RegSlot",
+    "control": "Branch",
+    "spawn": "SpawnNode",
+    "sync": "SyncNode",
+    "call": "CallNode",
+}
+
+
+def component_for_kind(kind: str) -> ComponentDef:
+    return LIBRARY[KIND_TO_COMPONENT.get(kind, "ALU")]

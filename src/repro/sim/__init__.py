@@ -1,0 +1,12 @@
+"""Cycle-level simulation substrate: engine, channels, components, tracing."""
+
+from repro.sim.channel import Channel
+from repro.sim.component import Component
+from repro.sim.engine import DEADLOCK_WINDOW, Simulator
+from repro.sim.stats import StatCounters, utilization
+from repro.sim.trace import NULL_TRACE, Trace, TraceEvent
+
+__all__ = [
+    "Channel", "Component", "DEADLOCK_WINDOW", "Simulator",
+    "StatCounters", "utilization", "NULL_TRACE", "Trace", "TraceEvent",
+]

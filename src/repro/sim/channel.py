@@ -1,0 +1,99 @@
+"""Registered ready/valid channels — the latency-insensitive glue.
+
+TAPAS inserts decoupled handshaking (ready+valid+data) between every pair
+of communicating hardware blocks (paper §III-C, Fig 6). A
+:class:`Channel` models a Chisel ``Queue``-backed Decoupled interface:
+
+* pushes performed in cycle *N* become visible to the consumer in cycle
+  *N+1* (one register stage of forward latency);
+* a pop frees its slot for the producer in the next cycle;
+* at most one push and one pop per cycle (single producer/consumer —
+  arbiters and demuxes provide fan-in/fan-out).
+
+Reads during a cycle always observe start-of-cycle state, which makes the
+two-phase simulation order-independent and deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+
+
+class Channel:
+    """Bounded FIFO with registered handshake semantics."""
+
+    def __init__(self, name: str, capacity: int = 2):
+        if capacity < 1:
+            raise SimulationError(f"channel {name}: capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._pending_push: Optional[Any] = None
+        self._pending_pop = False
+        self.total_pushed = 0
+        self.total_popped = 0
+
+    # -- producer side -------------------------------------------------------
+
+    def can_push(self) -> bool:
+        """Space available at the start of this cycle (``ready``)."""
+        return len(self._items) < self.capacity and self._pending_push is None
+
+    def push(self, item: Any):
+        if self._pending_push is not None:
+            raise SimulationError(
+                f"channel {self.name}: two pushes in one cycle")
+        if len(self._items) >= self.capacity:
+            raise SimulationError(
+                f"channel {self.name}: push into full channel")
+        self._pending_push = item
+
+    # -- consumer side -------------------------------------------------------
+
+    def can_pop(self) -> bool:
+        """Data available at the start of this cycle (``valid``)."""
+        return bool(self._items) and not self._pending_pop
+
+    def peek(self) -> Any:
+        if not self._items:
+            raise SimulationError(f"channel {self.name}: peek on empty channel")
+        return self._items[0]
+
+    def pop(self) -> Any:
+        if self._pending_pop:
+            raise SimulationError(
+                f"channel {self.name}: two pops in one cycle")
+        if not self._items:
+            raise SimulationError(f"channel {self.name}: pop from empty channel")
+        self._pending_pop = True
+        return self._items[0]
+
+    # -- clock edge -----------------------------------------------------------
+
+    def commit(self) -> bool:
+        """Apply this cycle's push/pop; returns True if anything moved."""
+        moved = False
+        if self._pending_pop:
+            self._items.popleft()
+            self.total_popped += 1
+            self._pending_pop = False
+            moved = True
+        if self._pending_push is not None:
+            self._items.append(self._pending_push)
+            self.total_pushed += 1
+            self._pending_push = None
+            moved = True
+        return moved
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    def __repr__(self):
+        return f"<Channel {self.name} {len(self._items)}/{self.capacity}>"

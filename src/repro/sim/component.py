@@ -1,0 +1,30 @@
+"""Base class for clocked hardware components."""
+
+from __future__ import annotations
+
+
+class Component:
+    """A clocked block. Once per cycle the engine calls :meth:`tick`;
+    channel reads inside tick observe start-of-cycle state, so tick order
+    between components never changes behaviour."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.sim = None  # set on registration
+
+    def tick(self, cycle: int):
+        """Do one cycle of work: read input channels, update internal
+        state, push output channels."""
+
+    def is_busy(self) -> bool:
+        """True while the component holds in-flight work that will make
+        progress without new channel traffic (e.g. a DRAM access counting
+        down). Used by deadlock detection."""
+        return False
+
+    def stats(self) -> dict:
+        """Per-component statistics merged into the simulation report."""
+        return {}
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name}>"

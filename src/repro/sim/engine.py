@@ -1,0 +1,106 @@
+"""The cycle engine: two-phase clock over components and channels."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.channel import Channel
+from repro.sim.component import Component
+
+#: cycles of total inactivity tolerated before declaring deadlock; must
+#: exceed the worst-case quiet period of any component (DRAM latency).
+DEADLOCK_WINDOW = 2048
+
+#: cycles without ANY channel movement tolerated even while components
+#: report busy — catches livelocks where stalled units retry forever
+#: (e.g. a task-queue-full circular wait in deep recursion).
+STALL_WINDOW = 32768
+
+
+class Simulator:
+    """Owns the clock, all components and all channels."""
+
+    def __init__(self, name: str = "sim"):
+        self.name = name
+        self.cycle = 0
+        self.components: List[Component] = []
+        self.channels: List[Channel] = []
+        self._idle_cycles = 0
+        self._quiet_cycles = 0  # no channel movement, busy or not
+        self._activity_flag = False
+
+    # -- construction -----------------------------------------------------
+
+    def add_component(self, component: Component) -> Component:
+        component.sim = self
+        self.components.append(component)
+        return component
+
+    def add_channel(self, name: str, capacity: int = 2) -> Channel:
+        channel = Channel(name, capacity)
+        self.channels.append(channel)
+        return channel
+
+    # -- clock ---------------------------------------------------------------
+
+    def note_activity(self):
+        """Components call this when they make internal progress that does
+        not show up as channel traffic (e.g. register-only dataflow firings),
+        so livelock detection doesn't misfire on long compute loops."""
+        self._activity_flag = True
+
+    def tick(self):
+        """Advance one cycle: all components observe start-of-cycle channel
+        state, then every channel commits its handshake."""
+        for component in self.components:
+            component.tick(self.cycle)
+        moved = False
+        for channel in self.channels:
+            if channel.commit():
+                moved = True
+        self.cycle += 1
+        if moved or self._activity_flag:
+            self._quiet_cycles = 0
+        else:
+            self._quiet_cycles += 1
+        self._activity_flag = False
+        if moved or any(c.is_busy() for c in self.components):
+            self._idle_cycles = 0
+        else:
+            self._idle_cycles += 1
+
+    def run(self, done: Callable[[], bool], max_cycles: int = 10_000_000) -> int:
+        """Run until ``done()`` is true; returns the cycle count.
+
+        Raises :class:`DeadlockError` if nothing moves for a full
+        inactivity window, and :class:`SimulationError` on timeout.
+        """
+        start = self.cycle
+        while not done():
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles without finishing")
+            self.tick()
+            if self._idle_cycles > DEADLOCK_WINDOW:
+                raise DeadlockError(self.cycle, self._describe_stall())
+            if self._quiet_cycles > STALL_WINDOW:
+                raise DeadlockError(
+                    self.cycle,
+                    "components busy but no channel movement (livelock — "
+                    "likely a task-queue-full circular wait; increase "
+                    "queue_depth). " + self._describe_stall())
+        return self.cycle - start
+
+    def _describe_stall(self) -> str:
+        pending = [f"{ch.name}({len(ch)})" for ch in self.channels if len(ch)]
+        return "channels with stuck data: " + (", ".join(pending) or "none")
+
+    # -- reporting --------------------------------------------------------
+
+    def stats(self) -> Dict[str, dict]:
+        return {c.name: c.stats() for c in self.components if c.stats()}
+
+    def __repr__(self):
+        return (f"<Simulator {self.name} cycle={self.cycle} "
+                f"{len(self.components)} components>")

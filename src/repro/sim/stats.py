@@ -1,0 +1,35 @@
+"""Simulation statistics helpers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+
+class StatCounters:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self):
+        self._counters: Counter = Counter()
+
+    def bump(self, key: str, amount: int = 1):
+        self._counters[key] += amount
+
+    def get(self, key: str) -> int:
+        return self._counters.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def __getitem__(self, key):
+        return self.get(key)
+
+    def __repr__(self):
+        return f"<StatCounters {dict(self._counters)}>"
+
+
+def utilization(busy_cycles: int, total_cycles: int) -> float:
+    """Fraction of cycles a unit did useful work."""
+    if total_cycles <= 0:
+        return 0.0
+    return busy_cycles / total_cycles

@@ -1,0 +1,51 @@
+"""Execution tracing: a lightweight event log for debugging and for the
+execution-flow figures (paper Fig 5 / Fig 7 style traces)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    cycle: int
+    source: str
+    kind: str
+    detail: str
+
+    def __str__(self):
+        return f"[{self.cycle:>8}] {self.source:<20} {self.kind:<10} {self.detail}"
+
+
+class Trace:
+    """Collects events; disabled by default so the hot path stays cheap."""
+
+    def __init__(self, enabled: bool = False,
+                 filter_: Optional[Callable[[TraceEvent], bool]] = None):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        self.filter = filter_
+
+    def emit(self, cycle: int, source: str, kind: str, detail: str = ""):
+        if not self.enabled:
+            return
+        event = TraceEvent(cycle, source, kind, detail)
+        if self.filter is None or self.filter(event):
+            self.events.append(event)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def render(self, limit: int = 200) -> str:
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self.events)
+
+
+#: shared no-op trace used when callers don't supply one
+NULL_TRACE = Trace(enabled=False)

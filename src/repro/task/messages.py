@@ -1,0 +1,49 @@
+"""Spawn and join messages exchanged between task units (paper Fig 5).
+
+A spawn is the tuple (Args[], ParentID) where ParentID = [SID, DyID]; the
+SID routes the eventual join back to the parent's unit and the DyID
+indexes the parent's task-queue entry. ``join_kind`` distinguishes a
+fork-join child (decrements the parent entry's Child# on completion) from
+a blocking call (delivers its return value to the waiting dataflow node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+JOIN_SYNC = "sync"
+JOIN_CALL = "call"
+
+
+@dataclass
+class SpawnMessage:
+    """Routed through the spawn network to ``dest_sid``'s task unit."""
+
+    dest_sid: int
+    args: Tuple[Any, ...]
+    parent_sid: Optional[int]       # None for the host-issued root spawn
+    parent_dyid: Optional[int]
+    join_kind: str = JOIN_SYNC
+    call_token: Optional[Any] = None   # identifies the waiting call node
+    ret_ptr: Optional[int] = None      # §IV-C shared-memory return slot
+
+    @property
+    def port(self) -> int:
+        """Demux routing key in the spawn network."""
+        return self.dest_sid
+
+
+@dataclass
+class JoinMessage:
+    """Completion notification routed back to the parent's task unit."""
+
+    parent_sid: int
+    parent_dyid: int
+    join_kind: str
+    call_token: Optional[Any] = None
+    retval: Any = None
+
+    @property
+    def port(self) -> int:
+        return self.parent_sid

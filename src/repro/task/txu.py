@@ -1,0 +1,481 @@
+"""TXU: the Task eXecution Unit — a dynamically scheduled dataflow tile.
+
+Each tile interprets its task's per-block dataflow graph with
+latency-insensitive semantics (paper §III-C): an operation fires when its
+operands are ready, every static operation node accepts at most one new
+dynamic firing per cycle (the pipeline-register structural hazard of
+Fig 7), memory operations issue into the data box and block only their
+dependents, and multiple dynamic task instances share the pipeline
+simultaneously.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.ir.instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    Detach,
+    FCmp,
+    ICmp,
+    Load,
+    Reattach,
+    Ret,
+    Select,
+    Store,
+    Sync,
+)
+from repro.ir.opsem import (
+    eval_binop,
+    eval_cast,
+    eval_fcmp,
+    eval_gep,
+    eval_icmp,
+    raw_to_value,
+    value_to_raw,
+)
+from repro.ir.values import Argument, Constant, GlobalVariable, Value
+from repro.memory.databox import MemTag
+from repro.memory.messages import MemRequest
+from repro.task.compiled import CompiledTask
+from repro.task.task_queue import COMPLETE, EXE, SYNC, TaskEntry
+
+#: dataflow-node latencies by functional-unit class (cycles)
+DEFAULT_LATENCIES = {
+    "alu": 1,
+    "gep": 1,
+    "mul": 3,
+    "div": 12,
+    "falu": 4,
+    "fmul": 4,
+    "fdiv": 16,
+    "regread": 1,
+    "regwrite": 1,
+    "nop": 1,
+    "control": 1,
+    "spawn": 1,
+    "sync": 1,
+}
+
+_EPILOGUE_NODE = -1  # synthetic node id for the ret_ptr store
+
+RUN = "run"
+EPILOGUE_ISSUE = "epilogue_issue"
+EPILOGUE_WAIT = "epilogue_wait"
+DONE = "done"
+
+
+class _RegSlot:
+    """Marker value an Alloca produces: a register-file slot handle."""
+
+    __slots__ = ("alloca",)
+
+    def __init__(self, alloca):
+        self.alloca = alloca
+
+
+class Instance:
+    """One dynamic task instance in flight on a tile."""
+
+    __slots__ = (
+        "uid", "entry", "block", "env", "regs", "node_done", "pending_mem",
+        "pending_call", "phase", "retval", "spawned", "block_entry_cycle",
+        "wake_at",
+    )
+
+    def __init__(self, uid: int, entry: TaskEntry, block):
+        self.uid = uid
+        self.entry = entry
+        self.block = block
+        self.env: Dict[Value, Any] = {}
+        self.regs: Dict[Alloca, Any] = {}
+        #: node index -> cycle at which its result is available
+        self.node_done: Dict[int, int] = {}
+        self.pending_mem: Set[int] = set()
+        self.pending_call: Set[int] = set()
+        self.phase = RUN
+        self.retval: Any = None
+        self.spawned = 0
+        self.block_entry_cycle = 0
+        #: scheduling hint: no dataflow progress possible before this cycle
+        #: (purely a simulation fast path, not architectural state)
+        self.wake_at = 0
+
+
+class TXUTile:
+    """One execution tile. Not a Component itself — the owning TaskUnit
+    ticks it so unit-level arbitration stays in one place."""
+
+    def __init__(self, unit, tile_index: int, compiled: CompiledTask,
+                 request_out, response_in, max_inflight: int = 8,
+                 latencies: Optional[Dict[str, int]] = None):
+        self.unit = unit
+        self.tile_index = tile_index
+        self.compiled = compiled
+        self.request_out = request_out
+        self.response_in = response_in
+        self.max_inflight = max_inflight
+        self.latencies = latencies or DEFAULT_LATENCIES
+        self.instances: List[Instance] = []
+        self._by_uid: Dict[int, Instance] = {}
+        self._fired: Set[Tuple[Any, int]] = set()
+        self._mem_issued_this_cycle = False
+        self.busy_cycles = 0
+        self.completed_instances = 0
+
+    # -- capacity ------------------------------------------------------------
+
+    def has_capacity(self) -> bool:
+        return len(self.instances) < self.max_inflight
+
+    def start(self, uid: int, entry: TaskEntry, cycle: int) -> Instance:
+        """Begin a fresh instance or resume a suspended one."""
+        if entry.resume_block is not None:
+            inst = Instance(uid, entry, entry.resume_block)
+            inst.env = entry.saved_env or {}
+            inst.regs = entry.saved_regs or {}
+            entry.resume_block = None
+            entry.saved_env = None
+            entry.saved_regs = None
+        else:
+            inst = Instance(uid, entry, self.compiled.entry_block)
+            for value, arg in zip(self.compiled.arg_values, entry.args):
+                inst.env[value] = arg
+        inst.block_entry_cycle = cycle
+        self.instances.append(inst)
+        self._by_uid[inst.uid] = inst
+        return inst
+
+    # -- value resolution -----------------------------------------------------
+
+    def _resolve(self, inst: Instance, value: Value):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, GlobalVariable):
+            if value.address is None:
+                raise SimulationError(f"global @{value.name} has no address")
+            return value.address
+        if value in inst.env:
+            return inst.env[value]
+        raise SimulationError(
+            f"value {value.short()} not available in task {self.compiled.name}")
+
+    def _frame_addr(self, inst: Instance, alloca: Alloca) -> int:
+        base = self.unit.frame_address(inst.entry.dyid)
+        offset = self.compiled.frame_offsets[alloca]
+        return base + offset
+
+    # -- clocked behaviour -----------------------------------------------------
+
+    def tick(self, cycle: int):
+        self._fired.clear()
+        self._mem_issued_this_cycle = False
+        self._pop_memory_response(cycle)
+        if self.instances:
+            self.busy_cycles += 1
+        finished: List[Instance] = []
+        for inst in list(self.instances):
+            self._step_instance(inst, cycle)
+            if inst.phase == DONE:
+                finished.append(inst)
+        for inst in finished:
+            self.instances.remove(inst)
+            del self._by_uid[inst.uid]
+            self.completed_instances += 1
+            self.unit.instance_finished(inst)
+
+    def _pop_memory_response(self, cycle: int):
+        if not self.response_in.can_pop():
+            return
+        resp = self.response_in.pop()
+        inst = self._by_uid.get(resp.tag.instance)
+        if inst is None:
+            raise SimulationError(
+                f"tile {self.tile_index}: response for unknown instance "
+                f"{resp.tag.instance}")
+        node_idx = resp.tag.node
+        if node_idx == _EPILOGUE_NODE:
+            inst.phase = DONE
+            return
+        inst.pending_mem.discard(node_idx)
+        inst.wake_at = 0
+        node = self.compiled.dfg(inst.block).nodes[node_idx]
+        if isinstance(node.inst, Load):
+            inst.env[node.inst] = raw_to_value(node.inst.type, resp.data or 0)
+        inst.node_done[node_idx] = cycle
+
+    def deliver_call_return(self, uid: int, node_idx: int, retval, cycle: int):
+        """A serial call completed; unblock the waiting call node."""
+        inst = self._by_uid.get(uid)
+        if inst is None:
+            raise SimulationError(f"call return for unknown instance {uid}")
+        inst.pending_call.discard(node_idx)
+        inst.wake_at = 0
+        node = self.compiled.dfg(inst.block).nodes[node_idx]
+        if not node.inst.type.is_void():
+            inst.env[node.inst] = retval
+        inst.node_done[node_idx] = cycle
+
+    # -- per-instance dataflow step ------------------------------------------
+
+    def _step_instance(self, inst: Instance, cycle: int):
+        if inst.phase == EPILOGUE_ISSUE:
+            self._issue_epilogue_store(inst, cycle)
+            return
+        if inst.phase != RUN:
+            return
+        if cycle < inst.wake_at:
+            return  # fast path: nothing can fire before wake_at
+
+        dfg = self.compiled.dfg(inst.block)
+        nodes = dfg.nodes
+        body_count = len(nodes) - 1  # terminator handled at transition
+
+        fired_any = False
+        deferred = False
+        for node in nodes[:body_count]:
+            idx = node.index
+            if idx in inst.node_done or idx in inst.pending_mem or idx in inst.pending_call:
+                continue
+            if not self._deps_ready(inst, node, cycle):
+                continue
+            key = (inst.block, idx)
+            if key in self._fired:
+                deferred = True
+                continue  # structural hazard: one firing per node per cycle
+            if self._fire(inst, node, cycle):
+                self._fired.add(key)
+                fired_any = True
+            else:
+                deferred = True  # channel backpressure: retry next cycle
+
+        outcome = self._maybe_transition(inst, dfg, cycle)
+        if (fired_any or outcome == "moved") and self.unit.sim is not None:
+            self.unit.sim.note_activity()
+        if inst.phase != RUN or outcome == "moved" or fired_any or deferred \
+                or outcome == "blocked":
+            inst.wake_at = cycle + 1
+            return
+        # quiescent: wake when the earliest in-flight node finishes, or on
+        # a memory/call response (those reset wake_at to 0 on arrival)
+        future = [d for d in inst.node_done.values() if d > cycle]
+        if future:
+            inst.wake_at = min(future)
+        elif inst.pending_mem or inst.pending_call:
+            inst.wake_at = 1 << 60
+        else:
+            inst.wake_at = cycle + 1
+
+    def _deps_ready(self, inst: Instance, node, cycle: int) -> bool:
+        done = inst.node_done
+        for dep in node.deps:
+            if done.get(dep, 1 << 60) > cycle:
+                return False
+        return True
+
+    def _latency(self, kind: str) -> int:
+        return self.latencies.get(kind, 1)
+
+    def _fire(self, inst: Instance, node, cycle: int) -> bool:
+        """Execute one dataflow node; returns False if it must retry
+        (e.g. a full memory channel)."""
+        ir = node.inst
+        kind = node.kind
+        env = inst.env
+
+        if kind in ("load", "store"):
+            return self._fire_memory(inst, node, cycle)
+
+        if kind == "call":
+            return self._fire_call(inst, node, cycle)
+
+        if kind == "regread":
+            slot = ir.pointer
+            env[ir] = inst.regs.get(slot, 0)
+        elif kind == "regwrite":
+            inst.regs[ir.pointer] = self._resolve(inst, ir.value)
+        elif kind == "nop":  # alloca
+            if isinstance(ir, Alloca):
+                if ir.in_frame:
+                    env[ir] = self._frame_addr(inst, ir)
+                else:
+                    env[ir] = _RegSlot(ir)
+        elif isinstance(ir, BinaryOp):
+            env[ir] = eval_binop(
+                ir.op, ir.type,
+                self._resolve(inst, ir.lhs), self._resolve(inst, ir.rhs))
+        elif isinstance(ir, ICmp):
+            env[ir] = eval_icmp(
+                ir.predicate,
+                self._resolve(inst, ir.lhs), self._resolve(inst, ir.rhs))
+        elif isinstance(ir, FCmp):
+            env[ir] = eval_fcmp(
+                ir.predicate,
+                self._resolve(inst, ir.operands[0]),
+                self._resolve(inst, ir.operands[1]))
+        elif isinstance(ir, Select):
+            cond, if_true, if_false = ir.operands
+            env[ir] = (self._resolve(inst, if_true)
+                       if self._resolve(inst, cond)
+                       else self._resolve(inst, if_false))
+        elif isinstance(ir, Cast):
+            env[ir] = eval_cast(ir.kind, self._resolve(inst, ir.operands[0]),
+                                ir.type)
+        elif isinstance(ir, GEP):
+            base = self._resolve(inst, ir.base)
+            if isinstance(base, _RegSlot):
+                raise SimulationError(
+                    "address arithmetic on a register slot — scalar allocas "
+                    "may only be loaded/stored directly")
+            env[ir] = eval_gep(
+                base, [self._resolve(inst, i) for i in ir.indices], ir.strides)
+        else:
+            raise SimulationError(f"TXU cannot execute {ir.opcode}")
+
+        inst.node_done[node.index] = cycle + self._latency(kind)
+        return True
+
+    def _fire_memory(self, inst: Instance, node, cycle: int) -> bool:
+        if self._mem_issued_this_cycle or not self.request_out.can_push():
+            return False
+        ir = node.inst
+        addr_val = self._resolve(inst, ir.pointer)
+        if isinstance(addr_val, _RegSlot):
+            raise SimulationError("register access classified as memory op")
+        tag = MemTag(self.unit.sid, self.tile_index, inst.uid, node.index)
+        if isinstance(ir, Load):
+            req = MemRequest(tag=tag, op="load", addr=int(addr_val),
+                             size=ir.type.size_bytes, port=self.unit.port)
+        else:
+            value = self._resolve(inst, ir.value)
+            req = MemRequest(tag=tag, op="store", addr=int(addr_val),
+                             size=ir.value.type.size_bytes,
+                             data=value_to_raw(ir.value.type, value),
+                             port=self.unit.port)
+        self.request_out.push(req)
+        self._mem_issued_this_cycle = True
+        inst.pending_mem.add(node.index)
+        return True
+
+    def _fire_call(self, inst: Instance, node, cycle: int) -> bool:
+        ir = node.inst
+        spec = self.compiled.call_specs[ir]
+        args = tuple(self._resolve(inst, v) for v in spec.arg_values)
+        token = (self.tile_index, inst.uid, node.index)
+        if not self.unit.issue_call(spec.dest_sid, args, inst.entry, token):
+            return False
+        inst.pending_call.add(node.index)
+        return True
+
+    # -- block transition ------------------------------------------------------
+
+    def _maybe_transition(self, inst: Instance, dfg, cycle: int) -> Optional[str]:
+        """Returns "moved" on a state change, "blocked" when the terminator
+        is ready but back-pressured, None when the block is still draining."""
+        nodes = dfg.nodes
+        term_node = nodes[-1]
+        # every body node must be complete
+        for node in nodes[:-1]:
+            if inst.node_done.get(node.index, 1 << 60) > cycle:
+                return None
+        if inst.pending_mem or inst.pending_call:
+            return None
+        # terminator dependencies (spawn-arg marshalling etc.)
+        if not self._deps_ready(inst, term_node, cycle):
+            return None
+
+        term = term_node.inst
+        if isinstance(term, Detach):
+            if not self._fire_spawn(inst, term):
+                return "blocked"  # spawn network backpressure
+            self._enter_block(inst, term.continuation, cycle)
+        elif isinstance(term, Sync):
+            if inst.entry.child_count > 0:
+                self._suspend(inst, term.continuation)
+            else:
+                self._enter_block(inst, term.continuation, cycle)
+        elif isinstance(term, Br):
+            self._enter_block(inst, term.dest, cycle)
+        elif isinstance(term, CondBr):
+            taken = self._resolve(inst, term.cond)
+            self._enter_block(inst, term.if_true if taken else term.if_false,
+                              cycle)
+        elif isinstance(term, Reattach):
+            self._finish(inst, None, cycle)
+        elif isinstance(term, Ret):
+            retval = (self._resolve(inst, term.value)
+                      if term.value is not None else None)
+            self._finish(inst, retval, cycle)
+        else:
+            raise SimulationError(f"TXU cannot handle terminator {term.opcode}")
+        return "moved"
+
+    def _fire_spawn(self, inst: Instance, detach: Detach) -> bool:
+        spec = self.compiled.spawn_specs[detach]
+        args = tuple(self._resolve(inst, v) for v in spec.arg_values)
+        ret_ptr = (int(self._resolve(inst, spec.ret_ptr_value))
+                   if spec.ret_ptr_value is not None else None)
+        if not self.unit.issue_spawn(spec.dest_sid, args, inst.entry, ret_ptr):
+            return False
+        inst.spawned += 1
+        return True
+
+    def _enter_block(self, inst: Instance, block, cycle: int):
+        if not self.compiled.owns_block(block):
+            raise SimulationError(
+                f"task {self.compiled.name}: control left the task region "
+                f"into {block.name}")
+        inst.block = block
+        inst.node_done = {}
+        inst.pending_mem = set()
+        inst.pending_call = set()
+        inst.block_entry_cycle = cycle + 1
+
+    def _suspend(self, inst: Instance, continuation):
+        """Vacate the tile while waiting for children (queue state SYNC)."""
+        entry = inst.entry
+        entry.saved_env = dict(inst.env)
+        entry.saved_regs = dict(inst.regs)
+        entry.resume_block = continuation
+        entry.state = SYNC
+        self.instances.remove(inst)
+        del self._by_uid[inst.uid]
+        self.unit.instance_suspended(inst)
+
+    def _finish(self, inst: Instance, retval, cycle: int):
+        inst.retval = retval
+        if inst.entry.ret_ptr is not None and retval is not None:
+            inst.phase = EPILOGUE_ISSUE
+            self._issue_epilogue_store(inst, cycle)
+        else:
+            inst.phase = DONE
+
+    def _issue_epilogue_store(self, inst: Instance, cycle: int):
+        """Write the return value through ret_ptr (shared-cache return)."""
+        if self._mem_issued_this_cycle or not self.request_out.can_push():
+            return
+        rettype = self.compiled.task.function.return_type
+        tag = MemTag(self.unit.sid, self.tile_index, inst.uid, _EPILOGUE_NODE)
+        self.request_out.push(MemRequest(
+            tag=tag, op="store", addr=int(inst.entry.ret_ptr),
+            size=rettype.size_bytes,
+            data=value_to_raw(rettype, inst.retval),
+            port=self.unit.port))
+        self._mem_issued_this_cycle = True
+        inst.phase = EPILOGUE_WAIT
+
+    # -- reporting --------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "busy_cycles": self.busy_cycles,
+            "completed_instances": self.completed_instances,
+            "in_flight": len(self.instances),
+        }

@@ -1,0 +1,33 @@
+"""The paper's benchmark suite (Table II) plus the Fig 12 microbenchmark."""
+
+from repro.workloads.base import (
+    REGISTRY,
+    PreparedRun,
+    Workload,
+    WorkloadRegistry,
+    WorkloadResult,
+)
+from repro.workloads.dedup import Dedup
+from repro.workloads.fibonacci import Fibonacci, fib_reference
+from repro.workloads.image_scale import ImageScale
+from repro.workloads.matrix_add import MatrixAdd
+from repro.workloads.mergesort import Mergesort
+from repro.workloads.saxpy import Saxpy
+from repro.workloads.scale_micro import ScaleMicro, scale_source
+from repro.workloads.stencil import Stencil
+
+# Table II order
+REGISTRY.register(MatrixAdd())
+REGISTRY.register(ImageScale())
+REGISTRY.register(Saxpy())
+REGISTRY.register(Stencil())
+REGISTRY.register(Dedup())
+REGISTRY.register(Mergesort())
+REGISTRY.register(Fibonacci())
+
+__all__ = [
+    "REGISTRY", "PreparedRun", "Workload", "WorkloadRegistry",
+    "WorkloadResult",
+    "Dedup", "Fibonacci", "fib_reference", "ImageScale", "MatrixAdd",
+    "Mergesort", "Saxpy", "ScaleMicro", "scale_source", "Stencil",
+]

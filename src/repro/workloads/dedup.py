@@ -1,0 +1,138 @@
+"""Dedup: the paper's Fig 1 dynamic task pipeline.
+
+Stage 0 (the root) pulls chunks until a dynamic termination sentinel;
+stage 1 classifies each chunk (duplicate detection); stage 2 — the
+*conditional* stage — compresses only non-duplicate chunks; stage 3
+writes the result. Conditional stages and dynamic exit are exactly what
+FIFO-based pipeline templates cannot express (paper §IV-B).
+
+A chunk is eight consecutive words. The "compression" is a wide
+shift/xor mix over all eight words — intentionally ILP-rich, standing in
+for the paper's real compressor, so the TXU dataflow can keep many
+independent operations and loads in flight per chunk.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.types import I32
+from repro.workloads.base import PreparedRun, Workload
+
+SENTINEL = -1
+DUP_MARKER = -2
+CHUNK_WORDS = 8
+
+
+def _mix(value: int) -> int:
+    """Python golden model of the per-word transform (i32 semantics)."""
+    from repro.ir.opsem import eval_binop
+    from repro.ir.types import I32
+
+    tripled = eval_binop("add", I32, eval_binop("mul", I32, value, 3), 7)
+    shifted = eval_binop("ashr", I32, tripled, 3)
+    return eval_binop("xor", I32, tripled, shifted)
+
+
+class Dedup(Workload):
+    name = "dedup"
+    entry = "dedup"
+    challenge = "Task Pipeline"
+    memory_pattern = "Irregular"
+    paper_tiles = 3  # Table IV
+
+    source = """
+    // Stage 2 (conditional): "compress" one 8-word chunk. All eight word
+    // transforms are independent -- the dataflow pipeline overlaps them.
+    func compress_chunk(data: i32*, out: i32*, i: i32) {
+      var b: i32 = i * 8;
+      var c0: i32 = (data[b] * 3 + 7);
+      var c1: i32 = (data[b + 1] * 3 + 7);
+      var c2: i32 = (data[b + 2] * 3 + 7);
+      var c3: i32 = (data[b + 3] * 3 + 7);
+      var c4: i32 = (data[b + 4] * 3 + 7);
+      var c5: i32 = (data[b + 5] * 3 + 7);
+      var c6: i32 = (data[b + 6] * 3 + 7);
+      var c7: i32 = (data[b + 7] * 3 + 7);
+      var m0: i32 = c0 ^ (c0 >> 3);
+      var m1: i32 = c1 ^ (c1 >> 3);
+      var m2: i32 = c2 ^ (c2 >> 3);
+      var m3: i32 = c3 ^ (c3 >> 3);
+      var m4: i32 = c4 ^ (c4 >> 3);
+      var m5: i32 = c5 ^ (c5 >> 3);
+      var m6: i32 = c6 ^ (c6 >> 3);
+      var m7: i32 = c7 ^ (c7 >> 3);
+      out[i] = m0 ^ m1 ^ m2 ^ m3 ^ m4 ^ m5 ^ m6 ^ m7;
+    }
+
+    // Stage 1 + 3: classify a chunk; duplicates skip compression entirely
+    // (the conditional stage, paper Fig 1: stage-2 "Conditional &
+    // Parallel") and a marker goes straight to the output buffer.
+    func process_chunk(data: i32*, out: i32*, i: i32) {
+      var dup: i32 = 0;
+      if (i > 0) {
+        if (data[i * 8] == data[i * 8 - 8]) {
+          dup = 1;
+        }
+      }
+      if (dup == 0) {
+        spawn compress_chunk(data, out, i);
+      } else {
+        out[i] = -2;
+      }
+    }
+
+    // Stage 0: the pipeline driver walks the chunk *headers* (compact
+    // metadata, like get_next_chunk reading the chunk table) and spawns
+    // stage 1 per chunk. Termination is decided at run time by the
+    // sentinel header (paper Fig 1 line 4).
+    func dedup(hdr: i32*, data: i32*, out: i32*) {
+      var i: i32 = 0;
+      while (hdr[i] != -1) {
+        spawn process_chunk(data, out, i);
+        i = i + 1;
+      }
+      sync;
+    }
+    """
+
+    def default_chunks(self, scale: int) -> int:
+        return 48 * scale
+
+    @staticmethod
+    def golden(chunks):
+        out = []
+        for i, words in enumerate(chunks):
+            if i > 0 and words[0] == chunks[i - 1][0]:
+                out.append(DUP_MARKER)
+            else:
+                from repro.ir.opsem import eval_binop
+                from repro.ir.types import I32
+
+                acc = _mix(words[0])
+                for w in words[1:]:
+                    acc = eval_binop("xor", I32, acc, _mix(w))
+                out.append(acc)
+        return out
+
+    def prepare(self, memory, scale: int = 1) -> PreparedRun:
+        n = self.default_chunks(scale)
+        rng = random.Random(23)
+        chunks = []
+        while len(chunks) < n:
+            chunk = [rng.randrange(1, 1 << 20) for _ in range(CHUNK_WORDS)]
+            chunks.append(chunk)
+            # ~30% duplicated chunks, like a dedup-friendly stream
+            while len(chunks) < n and rng.random() < 0.3:
+                chunks.append(list(chunk))
+        expected = self.golden(chunks)
+        flat = [w for chunk in chunks for w in chunk]
+        base_hdr = memory.alloc_array(I32, list(range(n)) + [SENTINEL])
+        base_data = memory.alloc_array(I32, flat)
+        base_out = memory.alloc_array(I32, [0] * n)
+
+        def check(mem, _retval):
+            return mem.read_array(base_out, I32, n) == expected
+
+        return PreparedRun(self.entry, [base_hdr, base_data, base_out],
+                           check, work_items=n)

@@ -1,0 +1,47 @@
+"""Fibonacci: recursive parallelism with spawn-result frame slots
+(Table II: "Recursive parallel"; evaluated as fib(n=15) in Figs 16/17)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import PreparedRun, Workload
+
+
+def fib_reference(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+class Fibonacci(Workload):
+    name = "fibonacci"
+    entry = "fib"
+    challenge = "Recursive parallel"
+    memory_pattern = "Regular"
+    paper_tiles = 4  # Table IV
+
+    source = """
+    func fib(n: i32) -> i32 {
+      if (n < 2) {
+        return n;
+      }
+      var x: i32 = spawn fib(n - 1);
+      var y: i32 = spawn fib(n - 2);
+      sync;
+      return x + y;
+    }
+    """
+
+    def default_n(self, scale: int) -> int:
+        # fib(12) = 465 dynamic tasks at scale 1; scale 2 -> the paper's n=15
+        return {1: 12, 2: 15}.get(scale, 12 + scale)
+
+    def prepare(self, memory, scale: int = 1) -> PreparedRun:
+        n = self.default_n(scale)
+        expected = fib_reference(n)
+        dynamic_tasks = 2 * fib_reference(n + 1) - 1
+
+        def check(_mem, retval):
+            return retval == expected
+
+        return PreparedRun(self.entry, [n], check, work_items=dynamic_tasks)

@@ -1,0 +1,68 @@
+"""Image scaling: nested parallel loops with if/else interpolation
+(Table II: "Nested, If-else loops")."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.types import I32
+from repro.workloads.base import PreparedRun, Workload
+
+
+class ImageScale(Workload):
+    name = "image_scale"
+    entry = "image_scale"
+    challenge = "Nested, If-else loops"
+    memory_pattern = "Regular"
+    paper_tiles = 4  # Table IV
+
+    source = """
+    // 2x upscale with edge-aware linear interpolation
+    func image_scale(in: i32*, out: i32*, IH: i32, IW: i32) {
+      cilk_for (var y: i32 = 0; y < IH * 2; y = y + 1) {
+        cilk_for (var x: i32 = 0; x < IW * 2; x = x + 1) {
+          var sy: i32 = y / 2;
+          var sx: i32 = x / 2;
+          var v: i32 = in[sy * IW + sx];
+          if (x % 2 == 1 && sx + 1 < IW) {
+            v = (v + in[sy * IW + sx + 1]) / 2;
+          }
+          if (y % 2 == 1 && sy + 1 < IH) {
+            v = (v + in[(sy + 1) * IW + sx]) / 2;
+          }
+          out[y * (IW * 2) + x] = v;
+        }
+      }
+    }
+    """
+
+    def dims(self, scale: int):
+        return 6 * scale, 6 * scale  # IH, IW
+
+    @staticmethod
+    def golden(pixels, ih, iw):
+        out = [0] * (ih * 2 * iw * 2)
+        for y in range(ih * 2):
+            for x in range(iw * 2):
+                sy, sx = y // 2, x // 2
+                v = pixels[sy * iw + sx]
+                if x % 2 == 1 and sx + 1 < iw:
+                    v = (v + pixels[sy * iw + sx + 1]) // 2
+                if y % 2 == 1 and sy + 1 < ih:
+                    v = (v + pixels[(sy + 1) * iw + sx]) // 2
+                out[y * iw * 2 + x] = v
+        return out
+
+    def prepare(self, memory, scale: int = 1) -> PreparedRun:
+        ih, iw = self.dims(scale)
+        rng = random.Random(7)
+        pixels = [rng.randrange(0, 256) for _ in range(ih * iw)]
+        expected = self.golden(pixels, ih, iw)
+        base_in = memory.alloc_array(I32, pixels)
+        base_out = memory.alloc_array(I32, [0] * len(expected))
+
+        def check(mem, _retval):
+            return mem.read_array(base_out, I32, len(expected)) == expected
+
+        return PreparedRun(self.entry, [base_in, base_out, ih, iw],
+                           check, work_items=len(expected))

@@ -1,0 +1,46 @@
+"""Matrix addition: the paper's Fig 3 running example (nested cilk_for)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.types import I32
+from repro.workloads.base import PreparedRun, Workload
+
+
+class MatrixAdd(Workload):
+    name = "matrix_add"
+    entry = "matrix_add"
+    challenge = "Nested loops"
+    memory_pattern = "Regular"
+    paper_tiles = 3  # Table IV
+
+    source = """
+    // C[i][j] = A[i][j] + B[i][j] over N x N (paper Fig 3)
+    func matrix_add(A: i32*, B: i32*, C: i32*, N: i32) {
+      cilk_for (var i: i32 = 0; i < N; i = i + 1) {
+        cilk_for (var j: i32 = 0; j < N; j = j + 1) {
+          C[i * N + j] = A[i * N + j] + B[i * N + j];
+        }
+      }
+    }
+    """
+
+    def default_n(self, scale: int) -> int:
+        return 8 * scale
+
+    def prepare(self, memory, scale: int = 1) -> PreparedRun:
+        n = self.default_n(scale)
+        rng = random.Random(42)
+        a = [rng.randrange(-1000, 1000) for _ in range(n * n)]
+        b = [rng.randrange(-1000, 1000) for _ in range(n * n)]
+        expected = [x + y for x, y in zip(a, b)]
+        base_a = memory.alloc_array(I32, a)
+        base_b = memory.alloc_array(I32, b)
+        base_c = memory.alloc_array(I32, [0] * (n * n))
+
+        def check(mem, _retval):
+            return mem.read_array(base_c, I32, n * n) == expected
+
+        return PreparedRun(self.entry, [base_a, base_b, base_c, n],
+                           check, work_items=n * n)

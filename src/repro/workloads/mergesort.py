@@ -1,0 +1,71 @@
+"""Mergesort: divide-and-conquer recursion + serial merge (paper Fig 11,
+Table II: "Recursive parallel")."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.types import I32
+from repro.workloads.base import PreparedRun, Workload
+
+MAX_ELEMENTS = 4096  # size of the shared scratch global
+
+
+class Mergesort(Workload):
+    name = "mergesort"
+    entry = "mergesort"
+    challenge = "Recursive parallel"
+    memory_pattern = "Regular"
+    paper_tiles = 4  # Table IV
+
+    source = """
+    global tmp: i32[4096];
+
+    // serial merge of two sorted halves through the shared scratch buffer
+    func merge(list: i32*, start: i32, mid: i32, end: i32) {
+      var i: i32 = start;
+      var j: i32 = mid + 1;
+      var k: i32 = start;
+      while (i <= mid && j <= end) {
+        if (list[i] <= list[j]) {
+          tmp[k] = list[i];
+          i = i + 1;
+        } else {
+          tmp[k] = list[j];
+          j = j + 1;
+        }
+        k = k + 1;
+      }
+      while (i <= mid) { tmp[k] = list[i]; i = i + 1; k = k + 1; }
+      while (j <= end) { tmp[k] = list[j]; j = j + 1; k = k + 1; }
+      for (var t: i32 = start; t <= end; t = t + 1) {
+        list[t] = tmp[t];
+      }
+    }
+
+    // paper Fig 11: spawn self on each half, sync, then merge
+    func mergesort(list: i32*, start: i32, end: i32) {
+      if (start < end) {
+        var mid: i32 = start + (end - start) / 2;
+        spawn mergesort(list, start, mid);
+        spawn mergesort(list, mid + 1, end);
+        sync;
+        merge(list, start, mid, end);
+      }
+    }
+    """
+
+    def default_n(self, scale: int) -> int:
+        return min(32 * scale, MAX_ELEMENTS)
+
+    def prepare(self, memory, scale: int = 1) -> PreparedRun:
+        n = self.default_n(scale)
+        rng = random.Random(5)
+        data = [rng.randrange(-10_000, 10_000) for _ in range(n)]
+        expected = sorted(data)
+        base = memory.alloc_array(I32, data)
+
+        def check(mem, _retval):
+            return mem.read_array(base, I32, n) == expected
+
+        return PreparedRun(self.entry, [base, 0, n - 1], check, work_items=n)

@@ -1,0 +1,67 @@
+"""SAXPY with a dynamic-exit spawner loop (Table II: "Dynamic exit loops").
+
+The trip count is read from shared memory at run time and each iteration
+is spawned from a while loop — the pattern static HLS cannot unroll
+(paper §II-B)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.opsem import eval_binop, to_f32
+from repro.ir.types import F32, I32
+from repro.workloads.base import PreparedRun, Workload
+
+
+class Saxpy(Workload):
+    name = "saxpy"
+    entry = "saxpy"
+    challenge = "Dynamic exit loops"
+    memory_pattern = "Regular"
+    paper_tiles = 5  # Table IV
+
+    source = """
+    // y = a*x + y; the element count arrives through shared memory and
+    // the spawner loop exits dynamically.
+    func saxpy(a: f32, x: f32*, y: f32*, len_ptr: i32*) {
+      var n: i32 = len_ptr[0];
+      var i: i32 = 0;
+      while (i < n) {
+        spawn {
+          y[i] = a * x[i] + y[i];
+        }
+        i = i + 1;
+      }
+      sync;
+    }
+    """
+
+    def default_n(self, scale: int) -> int:
+        return 64 * scale
+
+    @staticmethod
+    def golden(a, xs, ys):
+        """Bit-exact f32 reference: inputs quantise to single precision in
+        memory before each op rounds."""
+        out = []
+        for x, y in zip(xs, ys):
+            ax = eval_binop("fmul", F32, to_f32(a), to_f32(x))
+            out.append(eval_binop("fadd", F32, ax, to_f32(y)))
+        return out
+
+    def prepare(self, memory, scale: int = 1) -> PreparedRun:
+        n = self.default_n(scale)
+        rng = random.Random(3)
+        xs = [round(rng.uniform(-10, 10), 3) for _ in range(n)]
+        ys = [round(rng.uniform(-10, 10), 3) for _ in range(n)]
+        a = 2.5
+        expected = self.golden(a, xs, ys)
+        base_x = memory.alloc_array(F32, xs)
+        base_y = memory.alloc_array(F32, ys)
+        base_len = memory.alloc_array(I32, [n])
+
+        def check(mem, _retval):
+            return mem.read_array(base_y, F32, n) == expected
+
+        return PreparedRun(self.entry, [a, base_x, base_y, base_len],
+                           check, work_items=n)

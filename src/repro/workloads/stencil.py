@@ -1,0 +1,82 @@
+"""Stencil: parallel outer loop over positions, serial neighbourhood loops
+with boundary conditionals — the paper's Fig 10 kernel verbatim
+(Table II: "Nested parallel/serial")."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.types import I32
+from repro.workloads.base import PreparedRun, Workload
+
+
+class Stencil(Workload):
+    name = "stencil"
+    entry = "stencil"
+    challenge = "Nested parallel/serial"
+    memory_pattern = "Regular"
+    paper_tiles = 3  # Table IV
+
+    source = """
+    // 3x3 boundary-aware mean filter (paper Fig 10 structure):
+    // parallel over positions, serial over the neighbourhood.
+    func stencil(in: i32*, out: i32*, NROWS: i32, NCOLS: i32) {
+      cilk_for (var pos: i32 = 0; pos < NROWS * NCOLS; pos = pos + 1) {
+        var total: i32 = 0;
+        var count: i32 = 0;
+        for (var nr: i32 = 0; nr <= 2; nr = nr + 1) {
+          for (var nc: i32 = 0; nc <= 2; nc = nc + 1) {
+            var row: i32 = pos / NCOLS + nr - 1;
+            var col: i32 = (pos & (NCOLS - 1)) + nc - 1;  // paper Fig 10 line 9
+            if (row >= 0) {
+              if (row < NROWS) {
+                if (col >= 0) {
+                  if (col < NCOLS) {
+                    total = total + in[row * NCOLS + col];
+                    count = count + 1;
+                  }
+                }
+              }
+            }
+          }
+        }
+        out[pos] = total / count;
+      }
+    }
+    """
+
+    def dims(self, scale: int):
+        # NCOLS must be a power of two: the kernel uses the paper's
+        # `pos & (NCOLS-1)` column computation (Fig 10 line 9)
+        return 6 * scale, 1 << (2 + scale)  # NROWS, NCOLS
+
+    @staticmethod
+    def golden(grid, nrows, ncols):
+        out = [0] * (nrows * ncols)
+        for pos in range(nrows * ncols):
+            total = count = 0
+            for nr in range(3):
+                for nc in range(3):
+                    row = pos // ncols + nr - 1
+                    col = pos % ncols + nc - 1
+                    if 0 <= row < nrows and 0 <= col < ncols:
+                        total += grid[row * ncols + col]
+                        count += 1
+            # match the IR's truncating signed division
+            q = abs(total) // count
+            out[pos] = q if total >= 0 else -q
+        return out
+
+    def prepare(self, memory, scale: int = 1) -> PreparedRun:
+        nrows, ncols = self.dims(scale)
+        rng = random.Random(11)
+        grid = [rng.randrange(-50, 200) for _ in range(nrows * ncols)]
+        expected = self.golden(grid, nrows, ncols)
+        base_in = memory.alloc_array(I32, grid)
+        base_out = memory.alloc_array(I32, [0] * len(expected))
+
+        def check(mem, _retval):
+            return mem.read_array(base_out, I32, len(expected)) == expected
+
+        return PreparedRun(self.entry, [base_in, base_out, nrows, ncols],
+                           check, work_items=nrows * ncols)

@@ -1,0 +1,122 @@
+"""Unit tests for the Stage-1/2 generator (compile_task, GeneratedDesign)."""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, TaskUnitParams, generate
+from repro.accel.config import ARRIA_10, BOARDS, CYCLONE_V
+from repro.errors import ConfigError
+from repro.ir.values import Argument
+from repro.workloads import REGISTRY
+
+from tests.irprograms import (
+    build_fib_module,
+    build_matrix_add_module,
+    build_scale_module,
+)
+
+
+class TestGenerate:
+    def test_design_has_one_compiled_task_per_graph_task(self):
+        design = generate(build_matrix_add_module())
+        assert len(design.compiled) == len(design.graph.tasks)
+        assert [ct.sid for ct in design.compiled] == [0, 1, 2]
+
+    def test_compiled_for_lookup(self):
+        design = generate(build_matrix_add_module())
+        assert design.compiled_for("matrix_add").sid == 0
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError, match="no task named"):
+            design.compiled_for("ghost")
+
+    def test_spawn_specs_carry_child_argument_order(self):
+        design = generate(build_scale_module())
+        root = design.compiled[0]
+        child = design.compiled[1]
+        (spec,) = root.spawn_specs.values()
+        assert spec.dest_sid == child.sid
+        assert spec.arg_values == child.arg_values
+
+    def test_direct_spawn_specs_for_recursion(self):
+        design = generate(build_fib_module())
+        root = design.compiled[0]
+        assert len(root.spawn_specs) == 2
+        for spec in root.spawn_specs.values():
+            assert spec.dest_sid == root.sid      # self-spawn
+            assert spec.ret_ptr_value is not None
+
+    def test_frame_layout_distinct_aligned_offsets(self):
+        design = generate(build_fib_module())
+        root = design.compiled[0]
+        offsets = sorted(root.frame_offsets.values())
+        assert offsets == [0, 4]
+        assert root.frame_size == 8  # rounded to 8 bytes
+
+    def test_no_frames_for_loop_tasks(self):
+        design = generate(build_scale_module())
+        assert all(ct.frame_size == 0 for ct in design.compiled)
+
+    def test_dfgs_cover_every_owned_block(self):
+        design = generate(build_matrix_add_module())
+        for ct in design.compiled:
+            assert set(ct.dfgs) == set(ct.blocks)
+            assert ct.entry_block in ct.dfgs
+
+    def test_call_specs(self):
+        design = generate(REGISTRY.get("mergesort").fresh_module())
+        ms = design.compiled_for("mergesort")
+        (spec,) = ms.call_specs.values()
+        assert spec.dest_sid == design.compiled_for("merge").sid
+        assert len(spec.arg_values) == 4
+
+
+class TestConfig:
+    def test_params_for_falls_back_to_default(self):
+        config = AcceleratorConfig(default_ntiles=3)
+        assert config.params_for("anything").ntiles == 3
+
+    def test_unit_override(self):
+        config = AcceleratorConfig(
+            default_ntiles=1,
+            unit_params={"x": TaskUnitParams(ntiles=7, queue_depth=9)})
+        assert config.params_for("x").ntiles == 7
+        assert config.params_for("x").queue_depth == 9
+
+    def test_with_tiles_rewrites_everything(self):
+        config = AcceleratorConfig(
+            unit_params={"x": TaskUnitParams(ntiles=2)})
+        swept = config.with_tiles(8)
+        assert swept.default_ntiles == 8
+        assert swept.params_for("x").ntiles == 8
+        assert config.params_for("x").ntiles == 2  # original untouched
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            TaskUnitParams(ntiles=0)
+        with pytest.raises(ConfigError):
+            TaskUnitParams(queue_depth=0)
+        with pytest.raises(ConfigError):
+            TaskUnitParams(max_inflight_per_tile=0)
+
+    def test_boards_registry(self):
+        assert BOARDS["Cyclone V"] is CYCLONE_V
+        assert BOARDS["Arria 10"] is ARRIA_10
+        assert ARRIA_10.alm_capacity > 5 * CYCLONE_V.alm_capacity
+
+    def test_dram_latency_from_board(self):
+        config = AcceleratorConfig(board=CYCLONE_V)
+        # 270 ns at 185 MHz ~ 50 cycles
+        assert 40 <= config.effective_dram_latency() <= 60
+        fixed = AcceleratorConfig(dram_latency_cycles=33)
+        assert fixed.effective_dram_latency() == 33
+
+
+class TestOptimizeFlag:
+    def test_optimize_shrinks_or_preserves_instruction_count(self):
+        module_raw = REGISTRY.get("stencil").fresh_module()
+        raw = sum(t.instruction_count()
+                  for t in generate(module_raw, optimize=False).graph.tasks)
+        module_opt = REGISTRY.get("stencil").fresh_module()
+        opt = sum(t.instruction_count()
+                  for t in generate(module_opt, optimize=True).graph.tasks)
+        assert opt <= raw

@@ -1,0 +1,105 @@
+"""Tests for the heterogeneous-SoC host runtime (ARM + FPGA)."""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, HostProgram
+from repro.errors import ConfigError
+from repro.frontend import compile_source
+from repro.ir.types import I32
+
+SOURCE = """
+// host-side: fill the array (the "initialization" the paper keeps on ARM)
+func init(a: i32*, n: i32) {
+  for (var i: i32 = 0; i < n; i = i + 1) {
+    a[i] = i * 3;
+  }
+}
+
+// fabric-side: the parallel compute
+func compute(a: i32*, n: i32) {
+  cilk_for (var i: i32 = 0; i < n; i = i + 1) {
+    a[i] = a[i] + 100;
+  }
+}
+
+// host-side: a reduction the application does afterwards
+func checksum(a: i32*, n: i32) -> i32 {
+  var total: i32 = 0;
+  for (var i: i32 = 0; i < n; i = i + 1) {
+    total = total + a[i];
+  }
+  return total;
+}
+"""
+
+
+def make_program():
+    module = compile_source(SOURCE, "app")
+    return HostProgram(module, offload=["compute"],
+                       config=AcceleratorConfig(default_ntiles=2))
+
+
+class TestMixedExecution:
+    def test_host_and_fabric_share_one_memory_image(self):
+        prog = make_program()
+        n = 24
+        base = prog.alloc_array(I32, [0] * n)
+        prog.call("init", [base, n])          # ARM writes
+        prog.call("compute", [base, n])       # FPGA reads+writes
+        result = prog.call("checksum", [base, n])  # ARM reads
+        expected = sum(i * 3 + 100 for i in range(n))
+        assert result.retval == expected
+        assert prog.read_array(base, I32, n) == [
+            i * 3 + 100 for i in range(n)]
+
+    def test_calls_routed_to_right_side(self):
+        prog = make_program()
+        base = prog.alloc_array(I32, [0] * 8)
+        init_call = prog.call("init", [base, 8])
+        compute_call = prog.call("compute", [base, 8])
+        assert init_call.where == "arm"
+        assert compute_call.where == "fpga"
+        assert compute_call.cycles is not None and compute_call.cycles > 0
+        assert init_call.cycles is None
+
+    def test_elapsed_ledger(self):
+        prog = make_program()
+        base = prog.alloc_array(I32, [0] * 8)
+        prog.call("init", [base, 8])
+        prog.call("compute", [base, 8])
+        breakdown = prog.time_breakdown()
+        assert breakdown["arm"] > 0
+        assert breakdown["fpga"] > 0
+        assert prog.elapsed_seconds() == pytest.approx(
+            breakdown["arm"] + breakdown["fpga"])
+
+    def test_every_call_recorded(self):
+        prog = make_program()
+        base = prog.alloc_array(I32, [0] * 4)
+        prog.call("init", [base, 4])
+        prog.call("compute", [base, 4])
+        prog.call("checksum", [base, 4])
+        assert [c.function for c in prog.history] == [
+            "init", "compute", "checksum"]
+
+
+class TestValidation:
+    def test_unknown_offload_target_rejected(self):
+        module = compile_source(SOURCE, "app")
+        with pytest.raises(ConfigError, match="offload target"):
+            HostProgram(module, offload=["nonexistent"])
+
+    def test_arm_is_slow(self):
+        """The paper's context: the in-order ARM host is far slower than
+        the fabric at the parallel kernel."""
+        prog = make_program()
+        n = 64
+        base = prog.alloc_array(I32, [0] * n)
+        fpga = prog.call("compute", [base, n])
+        # run the same function on the ARM via a non-offloaded program
+        module = compile_source(SOURCE, "app_arm")
+        arm_prog = HostProgram(module, offload=[])
+        base2 = arm_prog.alloc_array(I32, [0] * n)
+        arm = arm_prog.call("compute", [base2, n])
+        assert arm.where == "arm"
+        assert arm.seconds > fpga.seconds

@@ -1,0 +1,125 @@
+"""Tests for the multicore CPU baseline (functional + cost model)."""
+
+import pytest
+
+from repro.baselines import CPUCostModel, MulticoreCPU, run_on_cpu
+from repro.frontend import compile_source
+from repro.memory.backing import MainMemory
+from repro.workloads import REGISTRY, fib_reference
+
+from tests.irprograms import build_fib_module, build_scale_module
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("name", REGISTRY.names())
+    def test_same_results_as_accelerator(self, name):
+        """The CPU interpreter executes the identical IR to identical
+        results — the paper's same-source methodology."""
+        w = REGISTRY.get(name)
+        mem = MainMemory(1 << 22)
+        cpu = MulticoreCPU(w.fresh_module(), mem)
+        prepared = w.prepare(mem, 1)
+        result = cpu.run(prepared.function, prepared.args)
+        assert prepared.check(mem, result.retval)
+
+    def test_hand_built_ir_also_runs(self):
+        from repro.ir.types import I32
+
+        module = build_scale_module()
+        mem = MainMemory(1 << 20)
+        base = mem.alloc_array(I32, range(10))
+        run_on_cpu(module, "scale", [base, 10], memory=mem)
+        assert mem.read_array(base, I32, 10) == [i + 1 for i in range(10)]
+
+    def test_recursion(self):
+        result = run_on_cpu(build_fib_module(), "fib", [14])
+        assert result.retval == fib_reference(14)
+
+
+class TestCostModel:
+    def test_work_exceeds_span(self):
+        w = REGISTRY.get("matrix_add")
+        mem = MainMemory(1 << 22)
+        cpu = MulticoreCPU(w.fresh_module(), mem)
+        prepared = w.prepare(mem, 1)
+        result = cpu.run(prepared.function, prepared.args)
+        assert result.t1_cycles >= result.tinf_cycles
+        assert result.tp_cycles >= result.t1_cycles / cpu.model.cores
+        assert result.tp_cycles <= result.t1_cycles + result.tinf_cycles
+
+    def test_more_cores_never_slower(self):
+        w = REGISTRY.get("stencil")
+
+        def tp(cores):
+            mem = MainMemory(1 << 22)
+            model = CPUCostModel(cores=cores)
+            cpu = MulticoreCPU(w.fresh_module(), mem, model)
+            prepared = w.prepare(mem, 1)
+            return cpu.run(prepared.function, prepared.args).tp_cycles
+
+        assert tp(8) <= tp(4) <= tp(1)
+
+    def test_dynamic_task_count_fib(self):
+        result = run_on_cpu(build_fib_module(), "fib", [10])
+        # fib(10) spawns 2*fib(11)-1 = 177 dynamic tasks
+        assert result.dynamic_tasks == 177
+
+    def test_spawn_overhead_dominates_fine_grain_tasks(self):
+        """Fig 13's flat Software line: tiny tasks are overhead-bound, so
+        doubling per-task work barely moves total time."""
+        src_template = """
+        func work(a: i32*, i: i32) {{ a[i] = a[i] {adds}; }}
+        func f(a: i32*, n: i32) {{
+          var i: i32 = 0;
+          while (i < n) {{
+            spawn work(a, i);
+            i = i + 1;
+          }}
+          sync;
+        }}
+        """
+
+        def time_for(adds):
+            module = compile_source(
+                src_template.format(adds="+ 1" * adds), "m")
+            mem = MainMemory(1 << 20)
+            from repro.ir.types import I32
+
+            base = mem.alloc_array(I32, [0] * 64)
+            cpu = MulticoreCPU(module, mem)
+            return cpu.run("f", [base, 64]).tp_cycles
+
+        assert time_for(50) < 1.35 * time_for(5)
+
+    def test_grain_coarsening_cheaper_than_per_iteration_spawns(self):
+        """cilk_for (region spawns) is coarsened; per-iteration function
+        spawns from a dynamic loop (pipeline pattern) are not."""
+        cilk_for_src = """
+        func f(a: i32*, n: i32) {
+          cilk_for (var i: i32 = 0; i < n; i = i + 1) { a[i] = a[i] + 1; }
+        }
+        """
+        pipeline_src = """
+        func w(a: i32*, i: i32) { a[i] = a[i] + 1; }
+        func f(a: i32*, n: i32) {
+          var i: i32 = 0;
+          while (i < n) { spawn w(a, i); i = i + 1; }
+          sync;
+        }
+        """
+
+        def tp(src):
+            from repro.ir.types import I32
+
+            module = compile_source(src, "m")
+            mem = MainMemory(1 << 20)
+            base = mem.alloc_array(I32, [0] * 256)
+            return MulticoreCPU(module, mem).run("f", [base, 256]).tp_cycles
+
+        assert tp(cilk_for_src) < 0.5 * tp(pipeline_src)
+
+    def test_time_seconds_conversion(self):
+        model = CPUCostModel()
+        result = run_on_cpu(build_fib_module(), "fib", [5])
+        assert result.time_seconds(model) == pytest.approx(
+            result.tp_cycles / 3.4e9)

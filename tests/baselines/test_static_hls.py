@@ -1,0 +1,87 @@
+"""Tests for the static-HLS (Intel HLS style) baseline model."""
+
+import pytest
+
+from repro.baselines import (
+    IMAGE_SCALE_SPEC,
+    SAXPY_SPEC,
+    StaticHLSModel,
+    StaticKernelSpec,
+    synthesize_static,
+)
+from repro.errors import ConfigError
+
+
+class TestTiming:
+    def test_unrolling_reduces_cycles_when_compute_bound(self):
+        spec = StaticKernelSpec(name="compute", loads_per_iter=0,
+                                stores_per_iter=0, alu_per_iter=30)
+        r1 = synthesize_static(spec, iterations=10000, unroll=1)
+        r3 = synthesize_static(spec, iterations=10000, unroll=3)
+        assert r3.cycles < 0.5 * r1.cycles
+
+    def test_unrolling_does_not_help_streaming_kernels(self):
+        """SAXPY is stream-bandwidth bound: unrolling buys nothing —
+        which is why Table V's parity result is a memory story."""
+        r1 = synthesize_static(SAXPY_SPEC, iterations=10000, unroll=1)
+        r3 = synthesize_static(SAXPY_SPEC, iterations=10000, unroll=3)
+        assert r3.cycles == pytest.approx(r1.cycles, rel=0.02)
+
+    def test_memory_bound_kernel_stops_scaling(self):
+        """SAXPY is stream-bandwidth bound: unroll 3 -> 6 barely helps."""
+        r3 = synthesize_static(SAXPY_SPEC, iterations=100000, unroll=3)
+        r6 = synthesize_static(SAXPY_SPEC, iterations=100000, unroll=6)
+        assert r6.cycles > 0.8 * r3.cycles
+
+    def test_cycles_scale_linearly_with_iterations(self):
+        small = synthesize_static(SAXPY_SPEC, iterations=1000, unroll=1)
+        big = synthesize_static(SAXPY_SPEC, iterations=10000, unroll=1)
+        assert big.cycles == pytest.approx(10 * small.cycles, rel=0.15)
+
+    def test_pipeline_fill_charged(self):
+        r = synthesize_static(SAXPY_SPEC, iterations=1, unroll=1)
+        model = StaticHLSModel()
+        assert r.cycles >= model.dram_latency_cycles + SAXPY_SPEC.depth
+
+    def test_zero_unroll_rejected(self):
+        with pytest.raises(ConfigError):
+            synthesize_static(SAXPY_SPEC, iterations=10, unroll=0)
+
+
+class TestResources:
+    def test_alms_grow_with_unroll(self):
+        r1 = synthesize_static(IMAGE_SCALE_SPEC, 1000, unroll=1)
+        r4 = synthesize_static(IMAGE_SCALE_SPEC, 1000, unroll=4)
+        assert r4.alms > r1.alms
+
+    def test_stream_buffers_dominate_bram(self):
+        """Table V's signature: Intel HLS burns tens of M20Ks on LSU
+        stream buffers (38-67), far more than TAPAS's ~10."""
+        saxpy = synthesize_static(SAXPY_SPEC, 1000, unroll=3)
+        image = synthesize_static(IMAGE_SCALE_SPEC, 1000, unroll=3)
+        assert saxpy.brams >= 30
+        assert image.brams >= 40
+
+    def test_frequency_drops_with_unroll(self):
+        model = StaticHLSModel()
+        assert model.mhz(6) < model.mhz(1)
+
+    def test_table5_magnitudes(self):
+        """ALM counts land in Table V's 3.8k-5.5k band at unroll 3."""
+        saxpy = synthesize_static(SAXPY_SPEC, 1000, unroll=3)
+        image = synthesize_static(IMAGE_SCALE_SPEC, 1000, unroll=3)
+        assert 2000 < saxpy.alms < 9000
+        assert 3000 < image.alms < 14000
+
+
+class TestCustomSpecs:
+    def test_compute_bound_kernel_ii_one(self):
+        spec = StaticKernelSpec(name="alu_only", loads_per_iter=0,
+                                stores_per_iter=0, alu_per_iter=20)
+        model = StaticHLSModel()
+        assert model.initiation_interval(spec, unroll=1) == 1.0
+
+    def test_runtime_uses_mhz(self):
+        r = synthesize_static(SAXPY_SPEC, 100000, unroll=3)
+        assert r.runtime_seconds == pytest.approx(
+            r.cycles / (r.mhz * 1e6))

@@ -1,0 +1,6 @@
+"""Make the repository root importable so tests can share IR builders."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))

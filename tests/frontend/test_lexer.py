@@ -1,0 +1,63 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        toks = kinds("func foo cilk_for spawn spawned")
+        assert toks == [("keyword", "func"), ("ident", "foo"),
+                        ("keyword", "cilk_for"), ("keyword", "spawn"),
+                        ("ident", "spawned")]
+
+    def test_integer_literals(self):
+        assert kinds("0 42 0xFF") == [("int", "0"), ("int", "42"),
+                                      ("int", "0xFF")]
+
+    def test_float_literals(self):
+        assert kinds("1.5 0.25") == [("float", "1.5"), ("float", "0.25")]
+
+    def test_maximal_munch_operators(self):
+        assert kinds("<= < << = ==") == [
+            ("op", "<="), ("op", "<"), ("op", "<<"), ("op", "="), ("op", "==")]
+
+    def test_arrow_not_minus_gt(self):
+        assert kinds("->") == [("op", "->")]
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].line == 1 and toks[0].column == 1
+        assert toks[1].line == 2 and toks[1].column == 3
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("a /* never ends")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_malformed_number(self):
+        with pytest.raises(LexError, match="malformed"):
+            tokenize("12abc")
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError, match="malformed hex"):
+            tokenize("0x")

@@ -1,0 +1,217 @@
+"""Parser and semantic-analysis tests."""
+
+import pytest
+
+from repro.errors import ParseError, SemanticError
+from repro.frontend import analyze, parse
+from repro.frontend import ast
+from repro.ir.types import F32, I1, I32, I64, PointerType
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+class TestParser:
+    def test_function_signature(self):
+        p = parse("func f(a: i32, b: f32*) -> i64 { return 0; }")
+        f = p.functions[0]
+        assert f.name == "f"
+        assert f.params[0].type == I32
+        assert f.params[1].type == PointerType(F32)
+        assert f.return_type == I64
+
+    def test_global_declaration(self):
+        p = parse("global buf: i32[128];")
+        g = p.globals[0]
+        assert g.name == "buf" and g.count == 128 and g.element_type == I32
+
+    def test_precedence(self):
+        p = parse("func f() -> i32 { return 1 + 2 * 3; }")
+        expr = p.functions[0].body.statements[0].value
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "*"
+
+    def test_comparison_binds_looser_than_arith(self):
+        p = parse("func f(a: i32) -> i32 { return a + 1 < a * 2; }")
+        expr = p.functions[0].body.statements[0].value
+        assert expr.op == "<"
+
+    def test_nested_if_else_chain(self):
+        p = parse("""
+        func f(a: i32) {
+          if (a < 0) { } else if (a == 0) { } else { }
+        }
+        """)
+        stmt = p.functions[0].body.statements[0]
+        assert isinstance(stmt.else_body, ast.If)
+
+    def test_cilk_for_parsed_as_parallel(self):
+        p = parse("""
+        func f(n: i32) {
+          cilk_for (var i: i32 = 0; i < n; i = i + 1) { }
+          for (var j: i32 = 0; j < n; j = j + 1) { }
+        }
+        """)
+        loops = p.functions[0].body.statements
+        assert loops[0].parallel and not loops[1].parallel
+
+    def test_spawn_forms(self):
+        p = parse("""
+        func g() { }
+        func f() {
+          spawn g();
+          spawn { g(); }
+          var x: i32 = spawn h();
+          sync;
+        }
+        func h() -> i32 { return 1; }
+        """)
+        stmts = p.functions[1].body.statements
+        assert stmts[0].call is not None
+        assert stmts[1].block is not None
+        assert stmts[2].spawn_init is not None
+        assert isinstance(stmts[3], ast.SyncStmt)
+
+    def test_address_of(self):
+        p = parse("func f(a: i32*) -> i32* { return &a[3]; }")
+        expr = p.functions[0].body.statements[0].value
+        assert isinstance(expr, ast.AddrOf)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse("func f() { var x: i32 = 1 }")
+
+    def test_spawn_requires_call_or_block(self):
+        with pytest.raises(ParseError, match="spawn target"):
+            parse("func f() { spawn 42; }")
+
+
+class TestSema:
+    def test_valid_program_passes(self):
+        check("""
+        global buf: i32[16];
+        func f(a: i32*, n: i32) -> i32 {
+          var total: i32 = 0;
+          for (var i: i32 = 0; i < n; i = i + 1) {
+            total = total + a[i] + buf[i];
+          }
+          return total;
+        }
+        """)
+
+    def test_expression_types_annotated(self):
+        p = check("func f(a: i32) -> i32 { return a + 1; }")
+        ret = p.functions[0].body.statements[0]
+        assert ret.value.type == I32
+
+    def test_comparison_is_boolean(self):
+        p = check("func f(a: i32) { if (a < 3) { } }")
+        cond = p.functions[0].body.statements[0].condition
+        assert cond.type == I1
+
+    def test_literal_adopts_i64_context(self):
+        p = check("func f(a: i64) -> i64 { return a + 1; }")
+        ret = p.functions[0].body.statements[0]
+        assert ret.value.type == I64
+
+    def test_undefined_variable(self):
+        with pytest.raises(SemanticError, match="undefined variable"):
+            check("func f() { var x: i32 = y; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(SemanticError, match="undefined function"):
+            check("func f() { g(); }")
+
+    def test_type_mismatch_assign(self):
+        with pytest.raises(SemanticError, match="cannot assign"):
+            check("func f() { var x: i32 = 0; x = 1.5; }")
+
+    def test_call_arity(self):
+        with pytest.raises(SemanticError, match="takes 1 arguments"):
+            check("func g(a: i32) { } func f() { g(); }")
+
+    def test_call_arg_type(self):
+        with pytest.raises(SemanticError, match="argument type"):
+            check("func g(a: i32*) { } func f() { g(3); }")
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(SemanticError, match="return type"):
+            check("func f() -> i32 { return 1.5; }")
+
+    def test_void_return_with_value(self):
+        with pytest.raises(SemanticError, match="void function"):
+            check("func f() { return 3; }")
+
+    def test_assign_to_parameter_rejected(self):
+        with pytest.raises(SemanticError, match="parameter"):
+            check("func f(a: i32) { a = 1; }")
+
+    def test_indexing_non_pointer(self):
+        with pytest.raises(SemanticError, match="pointer"):
+            check("func f(a: i32) -> i32 { return a[0]; }")
+
+    def test_spawn_region_cannot_write_outer_local(self):
+        with pytest.raises(SemanticError, match="captured by value"):
+            check("""
+            func f() {
+              var x: i32 = 0;
+              spawn { x = 1; }
+              sync;
+            }
+            """)
+
+    def test_cilk_for_body_cannot_write_outer_local(self):
+        with pytest.raises(SemanticError, match="captured by value"):
+            check("""
+            func f(n: i32) {
+              var total: i32 = 0;
+              cilk_for (var i: i32 = 0; i < n; i = i + 1) {
+                total = total + i;
+              }
+            }
+            """)
+
+    def test_spawn_region_can_write_own_locals(self):
+        check("""
+        func f(a: i32*, n: i32) {
+          cilk_for (var i: i32 = 0; i < n; i = i + 1) {
+            var t: i32 = a[i];
+            t = t + 1;
+            a[i] = t;
+          }
+        }
+        """)
+
+    def test_return_inside_spawn_rejected(self):
+        with pytest.raises(SemanticError, match="return inside"):
+            check("func f() { spawn { return; } sync; }")
+
+    def test_spawn_result_type_checked(self):
+        with pytest.raises(SemanticError, match="does not match"):
+            check("""
+            func g() -> i64 { return 0; }
+            func f() { var x: i32 = spawn g(); sync; }
+            """)
+
+    def test_spawn_of_void_function_as_result_rejected(self):
+        with pytest.raises(SemanticError, match="returns"):
+            check("""
+            func g() { }
+            func f() { var x: i32 = spawn g(); sync; }
+            """)
+
+    def test_duplicate_declarations(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check("func f() { var x: i32 = 0; var x: i32 = 1; }")
+        with pytest.raises(SemanticError, match="duplicate function"):
+            check("func f() { } func f() { }")
+
+    def test_expression_statement_must_be_call(self):
+        # a bare variable parses as an ExprStmt; sema rejects non-calls
+        with pytest.raises(SemanticError, match="must be calls"):
+            check("func f(a: i32) { a; }")
+
+    def test_arbitrary_expression_statement_is_a_parse_error(self):
+        with pytest.raises(ParseError):
+            check("func f(a: i32) { a + 1; }")

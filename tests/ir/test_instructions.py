@@ -1,0 +1,184 @@
+"""Unit tests for IR instruction construction and invariants."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Br,
+    CondBr,
+    Detach,
+    Function,
+    ICmp,
+    IRBuilder,
+    Load,
+    Module,
+    Ret,
+    Select,
+    Store,
+    Sync,
+    const,
+    ptr,
+)
+from repro.ir.types import F32, I1, I32, VOID
+
+
+def make_func(name="f", args=(), names=(), ret=VOID):
+    return Function(name, list(args), list(names), ret)
+
+
+class TestBinaryOps:
+    def test_add_type_propagates(self):
+        op = BinaryOp("add", const(1), const(2))
+        assert op.type == I32
+
+    def test_mismatched_types_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("add", const(1), const(1.0))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("frobnicate", const(1), const(2))
+
+    def test_float_binop(self):
+        op = BinaryOp("fmul", const(2.0), const(3.0))
+        assert op.type == F32
+        assert op.opcode == "fmul"
+
+
+class TestComparisons:
+    def test_icmp_produces_i1(self):
+        cmp = ICmp("slt", const(1), const(2))
+        assert cmp.type == I1
+
+    def test_bad_predicate(self):
+        with pytest.raises(IRError):
+            ICmp("ult", const(1), const(2))  # unsigned not supported
+
+    def test_select_requires_i1(self):
+        with pytest.raises(IRError):
+            Select(const(1), const(2), const(3))
+        cond = ICmp("eq", const(1), const(1))
+        sel = Select(cond, const(2), const(3))
+        assert sel.type == I32
+
+
+class TestMemoryInstructions:
+    def test_load_type_from_pointee(self):
+        slot = Alloca(I32)
+        load = Load(slot)
+        assert load.type == I32
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(IRError):
+            Load(const(5))
+
+    def test_store_type_check(self):
+        slot = Alloca(I32)
+        with pytest.raises(IRError):
+            Store(const(1.0), slot)
+        Store(const(1), slot)  # ok
+
+    def test_gep_shape_checks(self):
+        slot = Alloca(I32)
+        with pytest.raises(IRError):
+            GEP(slot, [const(0)], [])  # stride count mismatch
+        with pytest.raises(IRError):
+            GEP(slot, [], [])  # no indices
+        with pytest.raises(IRError):
+            GEP(slot, [const(0)], [0])  # non-positive stride
+        gep = GEP(slot, [const(3)], [4])
+        assert gep.type == ptr(I32)
+
+    def test_gep_base_must_be_pointer(self):
+        with pytest.raises(IRError):
+            GEP(const(5), [const(0)], [4])
+
+
+class TestTerminators:
+    def test_branch_successors(self):
+        f = make_func()
+        a, b = f.add_block("a"), f.add_block("b")
+        br = Br(b)
+        assert br.successors() == [b]
+        cb = CondBr(ICmp("eq", const(0), const(0)), a, b)
+        assert cb.successors() == [a, b]
+
+    def test_condbr_requires_i1(self):
+        f = make_func()
+        a, b = f.add_block("a"), f.add_block("b")
+        with pytest.raises(IRError):
+            CondBr(const(1), a, b)
+
+    def test_detach_has_two_successors(self):
+        f = make_func()
+        d, c = f.add_block("detached"), f.add_block("cont")
+        det = Detach(d, c)
+        assert det.successors() == [d, c]
+        assert det.is_terminator()
+
+    def test_sync_successor(self):
+        f = make_func()
+        c = f.add_block("after")
+        assert Sync(c).successors() == [c]
+
+    def test_ret_has_no_successors(self):
+        assert Ret().successors() == []
+        assert Ret(const(1)).value.value == 1
+
+
+class TestCalls:
+    def test_call_type_checked_against_signature(self):
+        m = Module("m")
+        callee = make_func("g", [I32], ["x"], I32)
+        m.add_function(callee)
+        b = IRBuilder(callee.add_block("entry"))
+        b.ret(callee.arguments[0])
+
+        caller = make_func("h")
+        m.add_function(caller)
+        b2 = IRBuilder(caller.add_block("entry"))
+        call = b2.call(callee, [const(7)])
+        assert call.type == I32
+        with pytest.raises(IRError):
+            b2.call(callee, [const(1.0)])
+        with pytest.raises(IRError):
+            b2.call(callee, [])
+
+
+class TestBlockDiscipline:
+    def test_append_after_terminator_rejected(self):
+        f = make_func()
+        blk = f.add_block("entry")
+        b = IRBuilder(blk)
+        b.ret()
+        with pytest.raises(IRError):
+            b.add(const(1), const(2))
+
+    def test_body_excludes_terminator(self):
+        f = make_func()
+        blk = f.add_block("entry")
+        b = IRBuilder(blk)
+        b.add(const(1), const(2))
+        b.ret()
+        assert len(blk.body()) == 1
+        assert blk.terminator is not None
+
+    def test_block_names_deduplicated(self):
+        f = make_func()
+        a1 = f.add_block("loop")
+        a2 = f.add_block("loop")
+        assert a1.name != a2.name
+        assert f.block(a1.name) is a1
+        assert f.block(a2.name) is a2
+
+
+class TestReplaceOperand:
+    def test_replace_counts_occurrences(self):
+        x = const(4)
+        op = BinaryOp("add", x, x)
+        y = const(5)
+        assert op.replace_operand(x, y) == 2
+        assert op.lhs is y and op.rhs is y

@@ -1,0 +1,143 @@
+"""Round-trip tests: print -> parse -> print must be a fixpoint, and the
+reparsed module must behave identically."""
+
+import pytest
+
+from repro.accel import build_accelerator
+from repro.errors import IRError
+from repro.ir import print_module, verify_module
+from repro.ir.textparser import parse_ir, parse_type
+from repro.ir.types import F32, I32, I64, PointerType
+from repro.workloads import REGISTRY, fib_reference
+
+from tests.irprograms import (
+    build_fib_module,
+    build_matrix_add_module,
+    build_scale_module,
+    build_serial_sum_module,
+)
+
+
+class TestParseType:
+    def test_base_types(self):
+        assert parse_type("i32") == I32
+        assert parse_type("f32") == F32
+
+    def test_pointers(self):
+        assert parse_type("i32*") == PointerType(I32)
+        assert parse_type("i64**") == PointerType(PointerType(I64))
+
+    def test_unknown_type(self):
+        with pytest.raises(IRError):
+            parse_type("i33")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [
+        build_scale_module, build_matrix_add_module, build_fib_module,
+        build_serial_sum_module,
+    ])
+    def test_print_parse_print_fixpoint(self, builder):
+        module = builder()
+        text1 = print_module(module)
+        reparsed = parse_ir(text1)
+        verify_module(reparsed)
+        text2 = print_module(reparsed)
+        assert text1 == text2
+
+    @pytest.mark.parametrize("name", REGISTRY.names())
+    def test_workload_sources_round_trip(self, name):
+        module = REGISTRY.get(name).fresh_module()
+        text1 = print_module(module)
+        reparsed = parse_ir(text1)
+        verify_module(reparsed)
+        assert print_module(reparsed) == text1
+
+
+class TestReparsedExecution:
+    def test_reparsed_fib_runs_identically(self):
+        original = build_fib_module()
+        reparsed = parse_ir(print_module(original))
+        accel = build_accelerator(reparsed)
+        result = accel.run("fib", [11])
+        assert result.retval == fib_reference(11)
+
+    def test_reparsed_scale_runs_identically(self):
+        reparsed = parse_ir(print_module(build_scale_module(work_ops=3)))
+        accel = build_accelerator(reparsed)
+        base = accel.memory.alloc_array(I32, [0] * 12)
+        accel.run("scale", [base, 12])
+        assert accel.memory.read_array(base, I32, 12) == [3] * 12
+
+    def test_reparsed_module_with_globals(self):
+        module = REGISTRY.get("mergesort").fresh_module()
+        reparsed = parse_ir(print_module(module))
+        assert reparsed.global_("tmp") is not None
+        accel = build_accelerator(reparsed)
+        data = [5, 3, 8, 1]
+        base = accel.memory.alloc_array(I32, data)
+        accel.run("mergesort", [base, 0, 3])
+        assert accel.memory.read_array(base, I32, 4) == sorted(data)
+
+
+class TestHandWrittenIR:
+    def test_minimal_function(self):
+        module = parse_ir("""
+        ; module hand
+        func @inc(x: i32) -> i32 {
+        entry:
+          %r = add i32 %x, 1
+          ret %r
+        }
+        """)
+        verify_module(module)
+        accel = build_accelerator(module)
+        assert accel.run("inc", [41]).retval == 42
+
+    def test_parallel_markers(self):
+        module = parse_ir("""
+        ; module hand
+        func @f(a: i32*) -> void {
+        entry:
+          detach body, continue cont
+        body:
+          store 7, %a
+          reattach cont
+        cont:
+          sync done
+        done:
+          ret
+        }
+        """)
+        verify_module(module)
+        accel = build_accelerator(module)
+        addr = accel.memory.alloc(4)
+        accel.run("f", [addr])
+        assert accel.memory.read_value(addr, I32) == 7
+
+    def test_errors_are_reported(self):
+        with pytest.raises(IRError, match="undefined value"):
+            parse_ir("""
+            ; module bad
+            func @f() -> i32 {
+            entry:
+              ret %nope
+            }
+            """)
+        with pytest.raises(IRError, match="unknown block"):
+            parse_ir("""
+            ; module bad
+            func @f() -> void {
+            entry:
+              br missing
+            }
+            """)
+        with pytest.raises(IRError, match="unknown function"):
+            parse_ir("""
+            ; module bad
+            func @f() -> void {
+            entry:
+              call @ghost()
+              ret
+            }
+            """)

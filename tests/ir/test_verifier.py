@@ -1,0 +1,163 @@
+"""Tests for the IR verifier: well-formed IR passes, broken IR is reported."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import (
+    Function,
+    IRBuilder,
+    Module,
+    const,
+    verify_function,
+    verify_module,
+)
+from repro.ir.instructions import BinaryOp, Br, Detach, Reattach, Ret
+from repro.ir.types import I32, VOID
+
+
+def build_linear_function():
+    f = Function("linear", [I32], ["x"], I32)
+    b = IRBuilder(f.add_block("entry"))
+    total = b.add(f.arguments[0], const(1))
+    b.ret(total)
+    return f
+
+
+def build_detach_function():
+    """A correct fork-join: entry detaches body, continuation syncs."""
+    f = Function("forked", [I32], ["x"], VOID)
+    entry = f.add_block("entry")
+    body = f.add_block("body")
+    cont = f.add_block("cont")
+    after = f.add_block("after")
+    b = IRBuilder(entry)
+    b.detach(body, cont)
+    b.position_at_end(body)
+    b.add(f.arguments[0], const(1))
+    b.reattach(cont)
+    b.position_at_end(cont)
+    b.sync(after)
+    b.position_at_end(after)
+    b.ret()
+    return f
+
+
+class TestAcceptsGoodIR:
+    def test_linear_function(self):
+        verify_function(build_linear_function())
+
+    def test_detach_reattach_sync(self):
+        verify_function(build_detach_function())
+
+    def test_module_with_call(self):
+        m = Module("m")
+        callee = build_linear_function()
+        m.add_function(callee)
+        caller = Function("caller", [], [], VOID)
+        m.add_function(caller)
+        b = IRBuilder(caller.add_block("entry"))
+        b.call(callee, [const(3)])
+        b.ret()
+        verify_module(m)
+
+
+class TestRejectsBrokenIR:
+    def test_unterminated_block(self):
+        f = Function("f", [], [], VOID)
+        blk = f.add_block("entry")
+        blk.append(BinaryOp("add", const(1), const(2)))
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(f)
+
+    def test_empty_function(self):
+        f = Function("f", [], [], VOID)
+        with pytest.raises(VerificationError, match="no basic blocks"):
+            verify_function(f)
+
+    def test_ret_type_mismatch(self):
+        f = Function("f", [], [], I32)
+        b = IRBuilder(f.add_block("entry"))
+        b.ret()  # missing value
+        with pytest.raises(VerificationError, match="ret"):
+            verify_function(f)
+
+    def test_use_before_def_in_block(self):
+        f = Function("f", [], [], VOID)
+        blk = f.add_block("entry")
+        first = BinaryOp("add", const(1), const(2))
+        second = BinaryOp("add", const(1), const(2))
+        # use 'second' before it is defined by appending a user first
+        user = BinaryOp("add", second, const(0))
+        blk.append(first)
+        blk.append(user)
+        blk.append(second)
+        blk.append(Ret())
+        with pytest.raises(VerificationError, match="before definition"):
+            verify_function(f)
+
+    def test_use_not_dominated_across_blocks(self):
+        f = Function("f", [I32], ["x"], VOID)
+        entry = f.add_block("entry")
+        left = f.add_block("left")
+        right = f.add_block("right")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        cond = b.icmp("slt", f.arguments[0], const(0))
+        b.condbr(cond, left, right)
+        b.position_at_end(left)
+        defined_in_left = b.add(f.arguments[0], const(1))
+        b.br(join)
+        b.position_at_end(right)
+        b.br(join)
+        b.position_at_end(join)
+        b.add(defined_in_left, const(2))  # not dominated: right path skips def
+        b.ret()
+        with pytest.raises(VerificationError, match="not dominated"):
+            verify_function(f)
+
+    def test_detach_without_reattach(self):
+        f = Function("f", [], [], VOID)
+        entry = f.add_block("entry")
+        body = f.add_block("body")
+        cont = f.add_block("cont")
+        b = IRBuilder(entry)
+        b.detach(body, cont)
+        b.position_at_end(body)
+        b.br(cont)  # wrong: should reattach
+        b.position_at_end(cont)
+        b.ret()
+        with pytest.raises(VerificationError, match="never reattaches"):
+            verify_function(f)
+
+    def test_reattach_without_detach(self):
+        f = Function("f", [], [], VOID)
+        entry = f.add_block("entry")
+        other = f.add_block("other")
+        entry.append(Reattach(other))
+        IRBuilder(other).ret()
+        with pytest.raises(VerificationError, match="no matching detach"):
+            verify_function(f)
+
+    def test_ret_inside_detached_region(self):
+        f = Function("f", [], [], VOID)
+        entry = f.add_block("entry")
+        body = f.add_block("body")
+        cont = f.add_block("cont")
+        b = IRBuilder(entry)
+        b.detach(body, cont)
+        b.position_at_end(body)
+        b.ret()
+        b.position_at_end(cont)
+        b.ret()
+        with pytest.raises(VerificationError, match="ret inside detached"):
+            verify_function(f)
+
+
+class TestVerifierAggregation:
+    def test_multiple_problems_all_reported(self):
+        f = Function("f", [], [], VOID)
+        f.add_block("a")  # empty block
+        f.add_block("b")  # empty block
+        with pytest.raises(VerificationError) as excinfo:
+            verify_function(f)
+        assert len(excinfo.value.problems) >= 2

@@ -1,0 +1,273 @@
+"""Hand-built IR programs used across the test suite.
+
+These mirror the paper's running examples: the Fig 12 ``scale`` parallel
+loop, the Fig 3 nested matrix-add loops, and Fig 11-style recursion (fib).
+The frontend produces equivalent IR from source text; these builders keep
+the pass/hardware tests independent of the frontend.
+"""
+
+from repro.ir import (
+    F32,
+    I32,
+    VOID,
+    Function,
+    IRBuilder,
+    Module,
+    const,
+    ptr,
+    verify_module,
+)
+
+
+def build_scale_module(work_ops: int = 1) -> Module:
+    """Fig 12 microbenchmark: ``cilk_for(i=0;i<n;i++) a[i] += work``.
+
+    ``work_ops`` extra integer adds inside the body vary task grain size
+    exactly as §V-A does ("10 adders" ... "50 adders").
+    """
+    m = Module(f"scale_{work_ops}")
+    f = Function("scale", [ptr(I32), I32], ["a", "n"], VOID)
+    m.add_function(f)
+    a, n = f.arguments
+
+    entry = f.add_block("entry")
+    cond = f.add_block("cond")
+    body = f.add_block("body")
+    det = f.add_block("detached")
+    latch = f.add_block("latch")
+    exit_sync = f.add_block("exit_sync")
+    done = f.add_block("done")
+
+    b = IRBuilder(entry)
+    i_slot = b.alloca(I32, "i")
+    b.store(const(0), i_slot)
+    b.br(cond)
+
+    b.position_at_end(cond)
+    i = b.load(i_slot, "i.val")
+    c = b.icmp("slt", i, n)
+    b.condbr(c, body, exit_sync)
+
+    b.position_at_end(body)
+    b.detach(det, latch)
+
+    b.position_at_end(det)
+    addr = b.gep(a, [i], [4])
+    v = b.load(addr)
+    acc = v
+    for _ in range(max(1, work_ops)):
+        acc = b.add(acc, const(1))
+    b.store(acc, addr)
+    b.reattach(latch)
+
+    b.position_at_end(latch)
+    nxt = b.add(i, const(1))
+    b.store(nxt, i_slot)
+    b.br(cond)
+
+    b.position_at_end(exit_sync)
+    b.sync(done)
+
+    b.position_at_end(done)
+    b.ret()
+
+    verify_module(m)
+    return m
+
+
+def build_matrix_add_module(rows_stride: int = 4) -> Module:
+    """Fig 3 nested parallel loops: ``C[i][j] = A[i][j] + B[i][j]``.
+
+    Outer cilk_for over i spawns inner cilk_for over j, which spawns the
+    body — three static tasks (T0 outer control, T1 inner control, T2
+    body), exactly the paper's running example.
+    """
+    m = Module("matrix_add")
+    f = Function(
+        "matrix_add",
+        [ptr(I32), ptr(I32), ptr(I32), I32],
+        ["A", "B", "C", "N"],
+        VOID,
+    )
+    m.add_function(f)
+    A, B, C, N = f.arguments
+
+    entry = f.add_block("entry")
+    ocond = f.add_block("outer_cond")
+    obody = f.add_block("outer_body")
+    inner_entry = f.add_block("inner_entry")
+    icond = f.add_block("inner_cond")
+    ibody = f.add_block("inner_body")
+    body_det = f.add_block("body_detached")
+    ilatch = f.add_block("inner_latch")
+    isync = f.add_block("inner_sync")
+    idone = f.add_block("inner_done")
+    olatch = f.add_block("outer_latch")
+    osync = f.add_block("outer_sync")
+    odone = f.add_block("outer_done")
+
+    b = IRBuilder(entry)
+    i_slot = b.alloca(I32, "i")
+    b.store(const(0), i_slot)
+    b.br(ocond)
+
+    b.position_at_end(ocond)
+    i = b.load(i_slot, "i.val")
+    oc = b.icmp("slt", i, N)
+    b.condbr(oc, obody, osync)
+
+    b.position_at_end(obody)
+    b.detach(inner_entry, olatch)
+
+    # --- inner loop (its own task) ---
+    b.position_at_end(inner_entry)
+    j_slot = b.alloca(I32, "j")
+    b.store(const(0), j_slot)
+    b.br(icond)
+
+    b.position_at_end(icond)
+    j = b.load(j_slot, "j.val")
+    ic = b.icmp("slt", j, N)
+    b.condbr(ic, ibody, isync)
+
+    b.position_at_end(ibody)
+    b.detach(body_det, ilatch)
+
+    b.position_at_end(body_det)
+    a_addr = b.gep(A, [i, j], [4 * rows_stride, 4])
+    b_addr = b.gep(B, [i, j], [4 * rows_stride, 4])
+    c_addr = b.gep(C, [i, j], [4 * rows_stride, 4])
+    av = b.load(a_addr)
+    bv = b.load(b_addr)
+    s = b.add(av, bv)
+    b.store(s, c_addr)
+    b.reattach(ilatch)
+
+    b.position_at_end(ilatch)
+    jn = b.add(j, const(1))
+    b.store(jn, j_slot)
+    b.br(icond)
+
+    b.position_at_end(isync)
+    b.sync(idone)
+
+    b.position_at_end(idone)
+    b.reattach(olatch)
+
+    # --- back in the outer loop ---
+    b.position_at_end(olatch)
+    i_next = b.add(i, const(1))
+    b.store(i_next, i_slot)
+    b.br(ocond)
+
+    b.position_at_end(osync)
+    b.sync(odone)
+
+    b.position_at_end(odone)
+    b.ret()
+
+    verify_module(m)
+    return m
+
+
+def build_fib_module() -> Module:
+    """Fig 11-style recursive parallelism: ``fib(n)`` with two spawns.
+
+    Each spawn writes its result through a frame pointer — the
+    shared-cache return-value path of §IV-C.
+    """
+    m = Module("fib")
+    f = Function("fib", [I32], ["n"], I32)
+    m.add_function(f)
+    n = f.arguments[0]
+
+    entry = f.add_block("entry")
+    base = f.add_block("base")
+    rec = f.add_block("rec")
+    s1 = f.add_block("spawn1")
+    c1 = f.add_block("cont1")
+    s2 = f.add_block("spawn2")
+    c2 = f.add_block("cont2")
+    join = f.add_block("join")
+
+    b = IRBuilder(entry)
+    c = b.icmp("slt", n, const(2))
+    b.condbr(c, base, rec)
+
+    b.position_at_end(base)
+    b.ret(n)
+
+    b.position_at_end(rec)
+    x_slot = b.alloca(I32, "x", in_frame=True)
+    y_slot = b.alloca(I32, "y", in_frame=True)
+    n1 = b.sub(n, const(1))
+    n2 = b.sub(n, const(2))
+    b.detach(s1, c1)
+
+    b.position_at_end(s1)
+    r1 = b.call(f, [n1])
+    b.store(r1, x_slot)
+    b.reattach(c1)
+
+    b.position_at_end(c1)
+    b.detach(s2, c2)
+
+    b.position_at_end(s2)
+    r2 = b.call(f, [n2])
+    b.store(r2, y_slot)
+    b.reattach(c2)
+
+    b.position_at_end(c2)
+    b.sync(join)
+
+    b.position_at_end(join)
+    xv = b.load(x_slot)
+    yv = b.load(y_slot)
+    total = b.add(xv, yv)
+    b.ret(total)
+
+    verify_module(m)
+    return m
+
+
+def build_serial_sum_module() -> Module:
+    """A purely serial reduction — no parallel markers at all. Used to
+    check the toolchain handles sequential functions (single task unit)."""
+    m = Module("serial_sum")
+    f = Function("sum", [ptr(I32), I32], ["a", "n"], I32)
+    m.add_function(f)
+    a, n = f.arguments
+
+    entry = f.add_block("entry")
+    cond = f.add_block("cond")
+    body = f.add_block("body")
+    done = f.add_block("done")
+
+    b = IRBuilder(entry)
+    i_slot = b.alloca(I32, "i")
+    acc_slot = b.alloca(I32, "acc")
+    b.store(const(0), i_slot)
+    b.store(const(0), acc_slot)
+    b.br(cond)
+
+    b.position_at_end(cond)
+    i = b.load(i_slot)
+    c = b.icmp("slt", i, n)
+    b.condbr(c, body, done)
+
+    b.position_at_end(body)
+    addr = b.gep(a, [i], [4])
+    v = b.load(addr)
+    acc = b.load(acc_slot)
+    acc2 = b.add(acc, v)
+    b.store(acc2, acc_slot)
+    i2 = b.add(i, const(1))
+    b.store(i2, i_slot)
+    b.br(cond)
+
+    b.position_at_end(done)
+    result = b.load(acc_slot)
+    b.ret(result)
+
+    verify_module(m)
+    return m

@@ -1,0 +1,185 @@
+"""Tests for the optimisation pipeline (constant folding, CSE, DCE)."""
+
+import pytest
+
+from repro.ir import Function, IRBuilder, Module, const, verify_function
+from repro.ir.types import I32, VOID, ptr
+from repro.ir.values import Constant
+from repro.passes import (
+    common_subexpression_elimination,
+    constant_fold,
+    eliminate_dead_code,
+    optimize_function,
+    optimize_module,
+)
+
+from tests.irprograms import build_matrix_add_module, build_scale_module
+
+
+def count_ops(function, opcode):
+    return sum(1 for i in function.instructions() if i.opcode == opcode)
+
+
+class TestConstantFolding:
+    def test_folds_constant_chain(self):
+        f = Function("f", [], [], I32)
+        b = IRBuilder(f.add_block("entry"))
+        x = b.add(const(2), const(3))
+        y = b.mul(x, const(4))
+        b.ret(y)
+        folded = constant_fold(f)
+        assert folded == 2
+        verify_function(f)
+        ret = f.entry.terminator
+        assert isinstance(ret.value, Constant)
+        assert ret.value.value == 20
+
+    def test_folds_comparison_and_select(self):
+        f = Function("f", [], [], I32)
+        b = IRBuilder(f.add_block("entry"))
+        c = b.icmp("slt", const(1), const(2))
+        s = b.select(c, const(10), const(20))
+        b.ret(s)
+        constant_fold(f)
+        assert f.entry.terminator.value.value == 10
+
+    def test_division_by_zero_left_alone(self):
+        f = Function("f", [], [], I32)
+        b = IRBuilder(f.add_block("entry"))
+        q = b.sdiv(const(1), const(0))
+        b.ret(q)
+        assert constant_fold(f) == 0  # runtime's problem, not the folder's
+        assert count_ops(f, "sdiv") == 1
+
+    def test_non_constant_operands_untouched(self):
+        f = Function("f", [I32], ["x"], I32)
+        b = IRBuilder(f.add_block("entry"))
+        y = b.add(f.arguments[0], const(1))
+        b.ret(y)
+        assert constant_fold(f) == 0
+
+
+class TestDCE:
+    def test_removes_unused_pure_ops(self):
+        f = Function("f", [I32], ["x"], I32)
+        b = IRBuilder(f.add_block("entry"))
+        b.add(f.arguments[0], const(1))     # dead
+        b.mul(f.arguments[0], const(2))     # dead
+        live = b.sub(f.arguments[0], const(3))
+        b.ret(live)
+        removed = eliminate_dead_code(f)
+        assert removed == 2
+        assert count_ops(f, "add") == 0
+        assert count_ops(f, "sub") == 1
+        verify_function(f)
+
+    def test_removes_transitively_dead_chains(self):
+        f = Function("f", [I32], ["x"], VOID)
+        b = IRBuilder(f.add_block("entry"))
+        a = b.add(f.arguments[0], const(1))
+        b.mul(a, const(2))  # dead, and then `a` becomes dead
+        b.ret()
+        assert eliminate_dead_code(f) == 2
+
+    def test_memory_ops_never_removed(self):
+        f = Function("f", [ptr(I32)], ["p"], VOID)
+        b = IRBuilder(f.add_block("entry"))
+        b.load(f.arguments[0])   # unused load: stays (it is not _PURE)
+        b.store(const(1), f.arguments[0])
+        b.ret()
+        assert eliminate_dead_code(f) == 0
+        assert count_ops(f, "load") == 1
+        assert count_ops(f, "store") == 1
+
+
+class TestCSE:
+    def test_shares_duplicate_ops(self):
+        f = Function("f", [I32, I32], ["x", "y"], I32)
+        b = IRBuilder(f.add_block("entry"))
+        a1 = b.add(f.arguments[0], f.arguments[1])
+        a2 = b.add(f.arguments[0], f.arguments[1])  # duplicate
+        total = b.mul(a1, a2)
+        b.ret(total)
+        shared = common_subexpression_elimination(f)
+        assert shared == 1
+        assert count_ops(f, "add") == 1
+        mul = next(i for i in f.instructions() if i.opcode == "mul")
+        assert mul.operands[0] is mul.operands[1]
+        verify_function(f)
+
+    def test_commutative_ops_matched_either_order(self):
+        f = Function("f", [I32, I32], ["x", "y"], I32)
+        b = IRBuilder(f.add_block("entry"))
+        a1 = b.add(f.arguments[0], f.arguments[1])
+        a2 = b.add(f.arguments[1], f.arguments[0])
+        b.ret(b.xor(a1, a2))
+        assert common_subexpression_elimination(f) == 1
+
+    def test_non_commutative_order_respected(self):
+        f = Function("f", [I32, I32], ["x", "y"], I32)
+        b = IRBuilder(f.add_block("entry"))
+        a1 = b.sub(f.arguments[0], f.arguments[1])
+        a2 = b.sub(f.arguments[1], f.arguments[0])
+        b.ret(b.xor(a1, a2))
+        assert common_subexpression_elimination(f) == 0
+
+    def test_loads_never_shared(self):
+        f = Function("f", [ptr(I32)], ["p"], I32)
+        b = IRBuilder(f.add_block("entry"))
+        l1 = b.load(f.arguments[0])
+        l2 = b.load(f.arguments[0])  # may read a different value later
+        b.ret(b.add(l1, l2))
+        assert common_subexpression_elimination(f) == 0
+
+    def test_cse_does_not_cross_blocks(self):
+        f = Function("f", [I32], ["x"], VOID)
+        entry = f.add_block("entry")
+        other = f.add_block("other")
+        b = IRBuilder(entry)
+        b.add(f.arguments[0], const(1))
+        b.br(other)
+        b.position_at_end(other)
+        dup = b.add(f.arguments[0], const(1))
+        b.store(dup, b.alloca(I32))
+        b.ret()
+        assert common_subexpression_elimination(f) == 0
+
+
+class TestPipeline:
+    def test_fixpoint_combines_passes(self):
+        """CSE exposes dead code; folding exposes more CSE — the driver
+        iterates to a fixpoint."""
+        f = Function("f", [I32], ["x"], I32)
+        b = IRBuilder(f.add_block("entry"))
+        k = b.add(const(1), const(2))         # folds to 3
+        a1 = b.add(f.arguments[0], k)
+        a2 = b.add(f.arguments[0], k)         # CSE after fold
+        b.mul(a2, const(0))                   # dead
+        b.ret(a1)
+        counts = optimize_function(f)
+        assert counts["folded"] >= 1
+        assert counts["cse"] >= 1
+        assert counts["dce"] >= 1
+        verify_function(f)
+
+    def test_workload_correctness_preserved(self):
+        """Optimised modules still compute the right answers end to end."""
+        from repro.accel import build_accelerator
+        from repro.ir.types import I32 as I32_
+
+        module = build_matrix_add_module(rows_stride=6)
+        optimize_module(module)
+        acc = build_accelerator(module)
+        n = 6
+        A = acc.memory.alloc_array(I32_, range(36))
+        B = acc.memory.alloc_array(I32_, range(36))
+        C = acc.memory.alloc_array(I32_, [0] * 36)
+        acc.run("matrix_add", [A, B, C, n])
+        assert acc.memory.read_array(C, I32_, 36) == [2 * i for i in range(36)]
+
+    def test_parallel_markers_survive(self):
+        module = build_scale_module()
+        optimize_module(module)
+        f = module.function("scale")
+        opcodes = [i.opcode for i in f.instructions()]
+        assert "detach" in opcodes and "sync" in opcodes

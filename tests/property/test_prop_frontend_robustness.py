@@ -1,0 +1,58 @@
+"""Robustness: the frontend must fail *cleanly* on arbitrary input.
+
+For any input text, the pipeline either produces a verified module or
+raises a FrontendError/IRError with a position — never an unhandled
+TypeError/KeyError/RecursionError leaking implementation details.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import FrontendError, IRError
+from repro.frontend import compile_source, tokenize
+
+# text biased toward language-looking fragments
+_fragments = st.sampled_from([
+    "func", "var", "cilk_for", "spawn", "sync", "return", "i32", "f32",
+    "{", "}", "(", ")", ";", ",", ":", "*", "+", "-", "=", "==", "<",
+    "->", "[", "]", "a", "b", "f", "x", "0", "42", "1.5", "0x1F", "&&",
+])
+
+
+class TestLexerRobustness:
+    @given(st.text(max_size=200))
+    def test_tokenize_never_hangs_or_crashes_unexpectedly(self, text):
+        try:
+            tokens = tokenize(text)
+            assert tokens[-1].kind == "eof"
+        except FrontendError:
+            pass  # clean rejection
+
+    @given(st.lists(_fragments, max_size=60))
+    def test_fragment_soup_lexes(self, pieces):
+        tokens = tokenize(" ".join(pieces))
+        assert tokens[-1].kind == "eof"
+
+
+class TestCompilerRobustness:
+    @settings(max_examples=200, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(_fragments, max_size=40))
+    def test_compile_source_fails_cleanly(self, pieces):
+        source = " ".join(pieces)
+        try:
+            module = compile_source(source, "fuzz")
+        except (FrontendError, IRError):
+            return  # a diagnosed rejection is the expected outcome
+        # if it compiled, the result must be a verifiable module
+        from repro.ir import verify_module
+
+        verify_module(module)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="func(){};:=i32var \n", max_size=120))
+    def test_textlike_noise_fails_cleanly(self, source):
+        try:
+            compile_source(source, "fuzz")
+        except (FrontendError, IRError):
+            pass

@@ -1,0 +1,123 @@
+"""Property-based tests of the shared operation semantics.
+
+These invariants protect the foundation both execution engines (TXU and
+CPU baseline) stand on.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.opsem import (
+    eval_binop,
+    eval_gep,
+    eval_icmp,
+    raw_to_value,
+    to_f32,
+    value_to_raw,
+)
+from repro.ir.types import F32, I8, I16, I32, I64, IntType
+
+i32s = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+i8s = st.integers(min_value=-128, max_value=127)
+widths = st.sampled_from([I8, I16, I32, I64])
+
+
+class TestWrapInvariants:
+    @given(st.integers(), widths)
+    def test_wrap_lands_in_range(self, value, type_):
+        wrapped = type_.wrap(value)
+        assert type_.min_value <= wrapped <= type_.max_value
+
+    @given(st.integers(), widths)
+    def test_wrap_is_idempotent(self, value, type_):
+        once = type_.wrap(value)
+        assert type_.wrap(once) == once
+
+    @given(st.integers(), widths)
+    def test_wrap_preserves_modulo(self, value, type_):
+        assert (type_.wrap(value) - value) % (1 << type_.bits) == 0
+
+
+class TestBinopAlgebra:
+    @given(i32s, i32s)
+    def test_add_matches_wrapped_python(self, a, b):
+        assert eval_binop("add", I32, a, b) == I32.wrap(a + b)
+
+    @given(i32s, i32s)
+    def test_sub_is_inverse_of_add(self, a, b):
+        total = eval_binop("add", I32, a, b)
+        assert eval_binop("sub", I32, total, b) == I32.wrap(a)
+
+    @given(i32s, i32s)
+    def test_mul_commutes(self, a, b):
+        assert eval_binop("mul", I32, a, b) == eval_binop("mul", I32, b, a)
+
+    @given(i32s, i32s.filter(lambda v: v != 0))
+    def test_division_identity(self, a, b):
+        quotient = eval_binop("sdiv", I32, a, b)
+        remainder = eval_binop("srem", I32, a, b)
+        # avoid the single overflow case INT_MIN / -1
+        if not (a == -(2 ** 31) and b == -1):
+            assert quotient * b + remainder == a
+            assert abs(remainder) < abs(b)
+
+    @given(i32s, i32s)
+    def test_xor_self_inverse(self, a, b):
+        x = eval_binop("xor", I32, a, b)
+        assert eval_binop("xor", I32, x, b) == a
+
+    @given(i32s, st.integers(min_value=0, max_value=31))
+    def test_shifts_match_python_semantics(self, a, k):
+        assert eval_binop("shl", I32, a, k) == I32.wrap(a << k)
+        assert eval_binop("ashr", I32, a, k) == a >> k
+
+    @given(i32s, i32s)
+    def test_minmax_bracket(self, a, b):
+        lo = eval_binop("smin", I32, a, b)
+        hi = eval_binop("smax", I32, a, b)
+        assert lo <= hi
+        assert {lo, hi} == {a, b}
+
+
+class TestComparisons:
+    @given(i32s, i32s)
+    def test_icmp_trichotomy(self, a, b):
+        assert (eval_icmp("slt", a, b) + eval_icmp("eq", a, b)
+                + eval_icmp("sgt", a, b)) == 1
+
+    @given(i32s, i32s)
+    def test_icmp_le_is_lt_or_eq(self, a, b):
+        assert eval_icmp("sle", a, b) == (
+            eval_icmp("slt", a, b) | eval_icmp("eq", a, b))
+
+
+class TestEncoding:
+    @given(i32s)
+    def test_i32_raw_roundtrip(self, value):
+        assert raw_to_value(I32, value_to_raw(I32, value)) == value
+
+    @given(i8s)
+    def test_i8_raw_roundtrip(self, value):
+        assert raw_to_value(I8, value_to_raw(I8, value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e30, max_value=1e30))
+    def test_f32_raw_roundtrip_is_f32_quantisation(self, value):
+        quantised = to_f32(value)
+        assert raw_to_value(F32, value_to_raw(F32, value)) == quantised
+
+    @given(i32s)
+    def test_raw_is_unsigned(self, value):
+        assert value_to_raw(I32, value) >= 0
+
+
+class TestGEP:
+    @given(st.integers(min_value=8, max_value=1 << 20),
+           st.lists(st.tuples(st.integers(min_value=0, max_value=1000),
+                              st.integers(min_value=1, max_value=64)),
+                    min_size=1, max_size=4))
+    def test_gep_linear(self, base, pairs):
+        indices = [p[0] for p in pairs]
+        strides = [p[1] for p in pairs]
+        addr = eval_gep(base, indices, strides)
+        assert addr == base + sum(i * s for i, s in pairs)

@@ -1,0 +1,96 @@
+"""Property tests for the hardware data structures (channel, task queue)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Channel
+from repro.task import READY, TaskQueue
+from repro.task.messages import SpawnMessage
+
+
+class TestChannelProperties:
+    @given(st.lists(st.booleans(), max_size=200),
+           st.integers(min_value=1, max_value=8))
+    def test_fifo_order_and_conservation(self, schedule, capacity):
+        """Under any push/pop schedule: data pops in push order, nothing
+        is lost or duplicated, occupancy never exceeds capacity."""
+        channel = Channel("c", capacity=capacity)
+        pushed = []
+        popped = []
+        next_value = 0
+        for want_push in schedule:
+            if want_push:
+                if channel.can_push():
+                    channel.push(next_value)
+                    pushed.append(next_value)
+                    next_value += 1
+            else:
+                if channel.can_pop():
+                    popped.append(channel.pop())
+            channel.commit()
+            assert len(channel) <= capacity
+        # drain
+        for _ in range(capacity + 1):
+            if channel.can_pop():
+                popped.append(channel.pop())
+            channel.commit()
+        assert popped == pushed
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_capacity_is_reachable(self, capacity):
+        channel = Channel("c", capacity=capacity)
+        count = 0
+        for _ in range(capacity * 2):
+            if channel.can_push():
+                channel.push(count)
+                count += 1
+            channel.commit()
+        assert len(channel) == capacity
+
+
+def spawn(args=()):
+    return SpawnMessage(dest_sid=0, args=args, parent_sid=1, parent_dyid=0)
+
+
+class TestTaskQueueProperties:
+    @given(st.lists(st.sampled_from(["alloc", "take", "release"]),
+                    max_size=120),
+           st.integers(min_value=1, max_value=16),
+           st.sampled_from(["fifo", "lifo"]))
+    def test_lifecycle_invariants(self, actions, depth, policy):
+        """Any alloc/dispatch/release interleaving keeps the occupancy
+        consistent, never double-allocates a DyID, and take_ready only
+        surfaces READY entries."""
+        queue = TaskQueue("q", depth, policy)
+        live = {}        # dyid -> entry (allocated, not yet released)
+        taken = []       # entries dispatched, not yet released
+        for action in actions:
+            if action == "alloc" and queue.has_free_entry():
+                entry = queue.allocate(spawn())
+                assert entry.dyid not in live
+                assert entry.state == READY
+                live[entry.dyid] = entry
+            elif action == "take":
+                entry = queue.take_ready()
+                if entry is not None:
+                    assert entry.state == READY
+                    taken.append(entry)
+            elif action == "release" and taken:
+                entry = taken.pop()
+                entry.state = "COMPLETE"
+                queue.release(entry)
+                del live[entry.dyid]
+            assert queue.occupancy == len(live)
+            assert 0 <= queue.occupancy <= depth
+
+    @given(st.integers(min_value=2, max_value=32))
+    def test_fifo_vs_lifo_orders(self, depth):
+        fifo = TaskQueue("f", depth, "fifo")
+        lifo = TaskQueue("l", depth, "lifo")
+        for i in range(depth):
+            fifo.allocate(spawn(args=(i,)))
+            lifo.allocate(spawn(args=(i,)))
+        fifo_order = [fifo.take_ready().args[0] for _ in range(depth)]
+        lifo_order = [lifo.take_ready().args[0] for _ in range(depth)]
+        assert fifo_order == list(range(depth))
+        assert lifo_order == list(reversed(range(depth)))

@@ -1,0 +1,168 @@
+"""Tests for the cycle engine, channels and handshake semantics."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Channel, Component, Simulator
+from repro.sim.engine import DEADLOCK_WINDOW
+
+
+class Producer(Component):
+    """Pushes sequential integers as fast as the channel accepts."""
+
+    def __init__(self, name, out, count):
+        super().__init__(name)
+        self.out = out
+        self.remaining = count
+        self.next_value = 0
+
+    def tick(self, cycle):
+        if self.remaining > 0 and self.out.can_push():
+            self.out.push(self.next_value)
+            self.next_value += 1
+            self.remaining -= 1
+
+
+class Consumer(Component):
+    def __init__(self, name, inp, stall_every=0):
+        super().__init__(name)
+        self.inp = inp
+        self.received = []
+        self.stall_every = stall_every
+
+    def tick(self, cycle):
+        if self.stall_every and cycle % self.stall_every == 0:
+            return  # backpressure
+        if self.inp.can_pop():
+            self.received.append(self.inp.pop())
+
+
+class TestChannel:
+    def test_push_visible_next_cycle(self):
+        ch = Channel("c", capacity=2)
+        ch.push(42)
+        assert not ch.can_pop()  # registered: not visible same cycle
+        ch.commit()
+        assert ch.can_pop()
+        assert ch.peek() == 42
+
+    def test_double_push_rejected(self):
+        ch = Channel("c")
+        ch.push(1)
+        with pytest.raises(SimulationError, match="two pushes"):
+            ch.push(2)
+
+    def test_double_pop_rejected(self):
+        ch = Channel("c")
+        ch.push(1)
+        ch.commit()
+        ch.pop()
+        with pytest.raises(SimulationError, match="two pops"):
+            ch.pop()
+
+    def test_capacity_enforced(self):
+        ch = Channel("c", capacity=1)
+        ch.push(1)
+        ch.commit()
+        assert not ch.can_push()
+        with pytest.raises(SimulationError, match="full"):
+            ch.push(2)
+
+    def test_pop_frees_slot_next_cycle(self):
+        ch = Channel("c", capacity=1)
+        ch.push(1)
+        ch.commit()
+        ch.pop()
+        # same cycle: slot not free yet
+        assert not ch.can_push()
+        ch.commit()
+        assert ch.can_push()
+
+    def test_fifo_order(self):
+        ch = Channel("c", capacity=4)
+        for v in (1, 2, 3):
+            ch.push(v)
+            ch.commit()
+        out = []
+        while ch.can_pop():
+            out.append(ch.pop())
+            ch.commit()
+        assert out == [1, 2, 3]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Channel("c", capacity=0)
+
+
+class TestSimulator:
+    def test_producer_consumer_delivers_everything_in_order(self):
+        sim = Simulator()
+        ch = sim.add_channel("pc", capacity=2)
+        sim.add_component(Producer("p", ch, count=50))
+        consumer = sim.add_component(Consumer("c", ch))
+        sim.run(lambda: len(consumer.received) == 50, max_cycles=1000)
+        assert consumer.received == list(range(50))
+
+    def test_backpressure_slows_but_preserves_data(self):
+        sim = Simulator()
+        ch = sim.add_channel("pc", capacity=1)
+        sim.add_component(Producer("p", ch, count=30))
+        consumer = sim.add_component(Consumer("c", ch, stall_every=2))
+        cycles = sim.run(lambda: len(consumer.received) == 30, max_cycles=5000)
+        assert consumer.received == list(range(30))
+        assert cycles > 30  # stalls cost time
+
+    def test_throughput_one_per_cycle_when_unblocked(self):
+        sim = Simulator()
+        ch = sim.add_channel("pc", capacity=4)
+        sim.add_component(Producer("p", ch, count=100))
+        consumer = sim.add_component(Consumer("c", ch))
+        cycles = sim.run(lambda: len(consumer.received) == 100, max_cycles=1000)
+        # 1 item/cycle steady state plus small pipeline fill
+        assert cycles <= 105
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        ch = sim.add_channel("pc", capacity=1)
+        sim.add_component(Consumer("c", ch))  # nothing ever arrives
+        with pytest.raises(DeadlockError):
+            sim.run(lambda: False, max_cycles=DEADLOCK_WINDOW * 3)
+
+    def test_timeout_raises(self):
+        class Spinner(Component):
+            def tick(self, cycle):
+                pass
+
+            def is_busy(self):
+                return True  # always "working", never done
+
+        sim = Simulator()
+        sim.add_component(Spinner("s"))
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run(lambda: False, max_cycles=100)
+
+    def test_busy_component_defers_deadlock(self):
+        class SlowSource(Component):
+            """Delivers one message after a long internal delay."""
+
+            def __init__(self, name, out, delay):
+                super().__init__(name)
+                self.out = out
+                self.delay = delay
+
+            def tick(self, cycle):
+                if self.delay > 0:
+                    self.delay -= 1
+                elif self.delay == 0 and self.out.can_push():
+                    self.out.push("late")
+                    self.delay = -1
+
+            def is_busy(self):
+                return self.delay > 0
+
+        sim = Simulator()
+        ch = sim.add_channel("pc", capacity=1)
+        sim.add_component(SlowSource("s", ch, delay=DEADLOCK_WINDOW + 100))
+        consumer = sim.add_component(Consumer("c", ch))
+        sim.run(lambda: consumer.received == ["late"],
+                max_cycles=DEADLOCK_WINDOW * 3)

@@ -1,0 +1,82 @@
+"""Tests for the spawn/join network (SID-routed crossbars)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.task import JoinMessage, SpawnMessage, TaskNetwork
+
+
+def drive(sim, cycles=30):
+    for _ in range(cycles):
+        sim.tick()
+
+
+class TestSpawnRouting:
+    def test_routes_by_destination_sid(self):
+        sim = Simulator()
+        net = TaskNetwork(sim, "net", num_units=3)
+        net.spawn_out[0].push(SpawnMessage(dest_sid=2, args=(1,),
+                                           parent_sid=0, parent_dyid=0))
+        net.spawn_out[1].push(SpawnMessage(dest_sid=0, args=(2,),
+                                           parent_sid=1, parent_dyid=0))
+        drive(sim)
+        assert net.spawn_in[2].can_pop()
+        assert net.spawn_in[2].pop().args == (1,)
+        assert net.spawn_in[0].can_pop()
+        assert net.spawn_in[0].pop().args == (2,)
+        assert not net.spawn_in[1].can_pop()
+
+    def test_host_port_injects_spawns(self):
+        sim = Simulator()
+        net = TaskNetwork(sim, "net", num_units=2)
+        net.host_spawn.push(SpawnMessage(dest_sid=1, args=("root",),
+                                         parent_sid=None, parent_dyid=None))
+        drive(sim)
+        assert net.spawn_in[1].pop().args == ("root",)
+
+    def test_self_spawn_loops_back(self):
+        """Recursion: a unit's spawn routed back to itself."""
+        sim = Simulator()
+        net = TaskNetwork(sim, "net", num_units=1)
+        net.spawn_out[0].push(SpawnMessage(dest_sid=0, args=(9,),
+                                           parent_sid=0, parent_dyid=3))
+        drive(sim)
+        message = net.spawn_in[0].pop()
+        assert message.args == (9,)
+        assert message.parent_dyid == 3
+
+
+class TestJoinRouting:
+    def test_joins_routed_to_parent_sid(self):
+        sim = Simulator()
+        net = TaskNetwork(sim, "net", num_units=3)
+        net.join_out[2].push(JoinMessage(parent_sid=1, parent_dyid=5,
+                                         join_kind="sync"))
+        drive(sim)
+        message = net.join_in[1].pop()
+        assert message.parent_dyid == 5
+
+    def test_many_to_one_joins_all_arrive(self):
+        sim = Simulator()
+        net = TaskNetwork(sim, "net", num_units=4)
+        for sid in (1, 2, 3):
+            net.join_out[sid].push(JoinMessage(parent_sid=0,
+                                               parent_dyid=sid,
+                                               join_kind="sync"))
+        got = []
+        for _ in range(60):
+            sim.tick()
+            if net.join_in[0].can_pop():
+                got.append(net.join_in[0].pop().parent_dyid)
+        assert sorted(got) == [1, 2, 3]
+
+    def test_stats(self):
+        sim = Simulator()
+        net = TaskNetwork(sim, "net", num_units=2)
+        net.spawn_out[0].push(SpawnMessage(dest_sid=1, args=(),
+                                           parent_sid=0, parent_dyid=0))
+        drive(sim)
+        net.spawn_in[1].pop()
+        stats = net.stats()
+        assert stats["spawns_routed"] == 1
+        assert stats["joins_routed"] == 0

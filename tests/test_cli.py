@@ -1,0 +1,77 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "kernel.tapas"
+    path.write_text("""
+    func double_all(a: i32*, n: i32) {
+      cilk_for (var i: i32 = 0; i < n; i = i + 1) {
+        a[i] = a[i] * 2;
+      }
+    }
+    """)
+    return str(path)
+
+
+class TestCommands:
+    def test_compile_prints_ir(self, kernel_file, capsys):
+        assert main(["compile", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "detach" in out and "sync" in out
+
+    def test_taskgraph_summary(self, kernel_file, capsys):
+        assert main(["taskgraph", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "task graph" in out
+        assert "spawns" in out
+
+    def test_taskgraph_dot(self, kernel_file, capsys):
+        assert main(["taskgraph", kernel_file, "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_emit_chisel(self, kernel_file, capsys):
+        assert main(["emit", kernel_file]) == 0
+        assert "TaskUnit" in capsys.readouterr().out
+
+    def test_emit_verilog(self, kernel_file, capsys):
+        assert main(["emit", kernel_file, "--language", "verilog"]) == 0
+        out = capsys.readouterr().out
+        assert "module" in out and "endmodule" in out
+
+    def test_estimate(self, kernel_file, capsys):
+        assert main(["estimate", kernel_file, "--tiles", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Cyclone V" in out and "Arria 10" in out
+        assert "ALM breakdown" in out
+
+    def test_run_workload(self, capsys):
+        assert main(["run", "saxpy"]) == 0
+        out = capsys.readouterr().out
+        assert "saxpy: OK" in out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("matrix_add", "dedup", "mergesort"):
+            assert name in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent.tapas"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_source_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.tapas"
+        path.write_text("func f( {")
+        assert main(["compile", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_workload(self, capsys):
+        assert main(["run", "nope"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
