@@ -179,8 +179,33 @@ class Accelerator:
         return stats
 
 
+def _analysis_gate(design, level: str, module_name: str):
+    """Run the static race analysis on the generated design and either
+    warn or refuse to elaborate, per ``AcceleratorConfig.analysis_level``."""
+    import sys
+
+    from repro.analysis import analyze_design
+    from repro.analysis.diagnostics import SEVERITY_ERROR, SEVERITY_WARNING
+    from repro.errors import AnalysisError
+
+    report = analyze_design(design)
+    threshold = SEVERITY_ERROR if level == "warn" else SEVERITY_WARNING
+    if report.fails(threshold):
+        raise AnalysisError(
+            f"analysis level {level!r} refused to build {module_name}: "
+            f"{report.count(SEVERITY_ERROR)} error(s), "
+            f"{report.count(SEVERITY_WARNING)} warning(s)\n"
+            + report.render_text(module_name),
+            diagnostics=report.sorted())
+    for diag in report.sorted():
+        print(diag.render(), file=sys.stderr)
+
+
 def build_accelerator(module: Module, config: Optional[AcceleratorConfig] = None,
                       trace: Optional[Trace] = None) -> Accelerator:
     """The complete toolchain: parallel IR in, elaborated accelerator out."""
+    config = config or AcceleratorConfig()
     design = generate(module)
-    return Accelerator(design, config or AcceleratorConfig(), trace=trace)
+    if config.analysis_level != "none":
+        _analysis_gate(design, config.analysis_level, module.name)
+    return Accelerator(design, config, trace=trace)

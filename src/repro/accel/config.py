@@ -77,11 +77,20 @@ class AcceleratorConfig:
     #: data preloaded by the host — the streaming-HLS memory model)
     memory_model: str = "cache"
     scratchpad_latency: int = 2
+    #: static-analysis gate run before elaboration:
+    #:   "none"   — skip the analysis entirely (default)
+    #:   "warn"   — print warnings; refuse to build on a *definite* race
+    #:   "strict" — refuse to build on any race finding
+    analysis_level: str = "none"
 
     def __post_init__(self):
         if self.memory_model not in ("cache", "scratchpad"):
             raise ConfigError(
                 f"unknown memory model {self.memory_model!r}")
+        if self.analysis_level not in ("none", "warn", "strict"):
+            raise ConfigError(
+                f"unknown analysis level {self.analysis_level!r} "
+                "(expected none/warn/strict)")
 
     def params_for(self, task_name: str) -> TaskUnitParams:
         params = self.unit_params.get(task_name)

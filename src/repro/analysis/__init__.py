@@ -1,0 +1,47 @@
+"""Static analysis over the parallel IR (post Stage-1).
+
+TAPAS synthesizes one accelerator per *static task graph*; a determinacy
+race in the source program becomes a silicon-level data race between task
+units sharing the cache. This package analyses the extracted task graph
+*before* accelerator generation:
+
+* :mod:`repro.analysis.mhp`     — may-happen-in-parallel facts from the
+  detach/sync structure (which spawn subtrees overlap in time).
+* :mod:`repro.analysis.memdep`  — affine memory-dependence / alias
+  analysis over load/store/GEP chains, with per-function effect
+  summaries so recursion (fib, mergesort) is handled.
+* :mod:`repro.analysis.races`   — the determinacy-race detector that
+  joins the two: MHP pairs whose footprints may alias with >=1 write.
+* :mod:`repro.analysis.diagnostics` — structured diagnostics (codes,
+  severities, source locations, text/JSON renderers).
+* :mod:`repro.analysis.dynamic` — a trace-based dynamic checker that
+  cross-validates the static verdicts against a simulation run.
+"""
+
+from repro.analysis.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+    DiagnosticReport,
+)
+from repro.analysis.races import (
+    RaceFinding,
+    analyze_design,
+    analyze_module,
+    analyze_task_graph,
+    find_races,
+)
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "RaceFinding",
+    "SEVERITY_ERROR",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "analyze_design",
+    "analyze_module",
+    "analyze_task_graph",
+    "find_races",
+]

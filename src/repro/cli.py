@@ -4,6 +4,7 @@ Subcommands mirror the toolchain stages:
 
 * ``compile``   — source file -> printed parallel IR
 * ``taskgraph`` — source file -> task-graph summary (or DOT with --dot)
+* ``analyze``   — source file -> static race/dependence diagnostics
 * ``emit``      — source file -> Chisel-flavoured or Verilog RTL
 * ``estimate``  — source file -> resources / fmax / power per board
 * ``run``       — execute a registered workload and report cycles
@@ -13,6 +14,7 @@ Subcommands mirror the toolchain stages:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.accel import (
@@ -39,7 +41,7 @@ from repro.rtl import emit_design, emit_top_verilog
 def _load_module(path: str):
     with open(path) as handle:
         source = handle.read()
-    name = path.rsplit("/", 1)[-1].split(".", 1)[0]
+    name = os.path.splitext(os.path.basename(path))[0]
     return compile_source(source, name)
 
 
@@ -55,6 +57,19 @@ def cmd_taskgraph(args) -> int:
     else:
         print(design.graph.describe())
     return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import analyze_design
+
+    module = _load_module(args.source)
+    design = generate(module)
+    report = analyze_design(design)
+    if args.format == "json":
+        print(report.render_json(module.name))
+    else:
+        print(report.render_text(module.name))
+    return 1 if report.fails(args.fail_on) else 0
 
 
 def cmd_emit(args) -> int:
@@ -125,6 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("source")
     p.add_argument("--dot", action="store_true", help="emit GraphViz DOT")
     p.set_defaults(func=cmd_taskgraph)
+
+    p = sub.add_parser("analyze",
+                       help="static determinacy-race / dependence analysis")
+    p.add_argument("source")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--fail-on", choices=["warning", "error"], default="error",
+                   help="exit nonzero if any diagnostic at or above this "
+                        "severity is reported")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("emit", help="emit generated RTL")
     p.add_argument("source")

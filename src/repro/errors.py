@@ -44,6 +44,15 @@ class PassError(TapasError):
     """A compiler pass was applied to IR it cannot handle."""
 
 
+class AnalysisError(TapasError):
+    """The static-analysis stage refused the program (e.g. a determinacy
+    race at an analysis level that gates synthesis)."""
+
+    def __init__(self, message, diagnostics=None):
+        self.diagnostics = list(diagnostics or [])
+        super().__init__(message)
+
+
 class SynthesisError(TapasError):
     """The HLS toolchain could not generate an accelerator."""
 

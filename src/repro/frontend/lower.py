@@ -116,6 +116,8 @@ class FunctionLowerer:
         self._pop()
 
     def _lower_stmt(self, stmt: ast.Stmt):
+        if getattr(stmt, "line", None) is not None:
+            self.builder.current_loc = stmt.line
         if isinstance(stmt, ast.Block):
             self._lower_block(stmt)
         elif isinstance(stmt, ast.VarDecl):

@@ -41,6 +41,8 @@ class IRBuilder:
     def __init__(self, block: Optional[BasicBlock] = None):
         self.block = block
         self._name_counter = 0
+        #: source line stamped onto every inserted instruction (diagnostics)
+        self.current_loc: Optional[int] = None
 
     def position_at_end(self, block: BasicBlock) -> "IRBuilder":
         self.block = block
@@ -53,6 +55,8 @@ class IRBuilder:
     def _insert(self, inst: Instruction) -> Instruction:
         if self.block is None:
             raise IRError("IRBuilder has no insertion block")
+        if inst.loc is None:
+            inst.loc = self.current_loc
         return self.block.append(inst)
 
     # -- arithmetic ----------------------------------------------------------

@@ -38,6 +38,7 @@ class Instruction(Value):
         super().__init__(type_, name)
         self.operands = list(operands)
         self.parent = None  # set when appended to a BasicBlock
+        self.loc = None  # source line threaded from the frontend (or None)
 
     def is_terminator(self) -> bool:
         return False

@@ -32,7 +32,8 @@ def _compute_dominators(function: Function) -> Dict[BasicBlock, Set[BasicBlock]]
     preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in blocks}
     for block in blocks:
         for succ in block.successors():
-            preds[succ].append(block)
+            if succ in preds:  # foreign targets are reported, not crashed on
+                preds[succ].append(block)
     entry = function.entry
     dom: Dict[BasicBlock, Set[BasicBlock]] = {
         b: ({entry} if b is entry else set(blocks)) for b in blocks
@@ -107,8 +108,13 @@ class Verifier:
                     self.note(where, "ret missing value")
             elif term.value.type != want:
                 self.note(where, f"ret type {term.value.type!r} != {want!r}")
-        if isinstance(term, Detach) and term.detached is term.continuation:
-            self.note(where, "detach with identical detached/continuation block")
+        if isinstance(term, Detach):
+            if term.detached not in block_set:
+                self.note(where,
+                          f"detach target {term.detached.name} is not a block "
+                          "of the function")
+            if term.detached is term.continuation:
+                self.note(where, "detach with identical detached/continuation block")
         for inst in block.instructions:
             if isinstance(inst, Call) and module is not None:
                 if module.function(inst.callee.name) is not inst.callee:
@@ -175,6 +181,18 @@ class Verifier:
                 if not found_reattach:
                     self.note(f"{function.name}:{block.name}",
                               "detached region never reattaches to continuation")
+                # a sync inside the detached region must stay inside it: the
+                # only way control leaves a detached region is the reattach.
+                # (A sync is fine *within* the region — the child task waits
+                # for its own children — but its continuation may not escape.)
+                for region_block in seen:
+                    inner = region_block.terminator
+                    if isinstance(inner, Sync) and (
+                            inner.continuation is term.continuation
+                            or inner.continuation not in seen):
+                        self.note(f"{function.name}:{region_block.name}",
+                                  "sync escapes its detached region "
+                                  "(regions must close with reattach)")
         for block in function.blocks:
             term = block.terminator
             if isinstance(term, Reattach) and term.continuation not in detach_continuations:

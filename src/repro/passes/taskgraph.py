@@ -8,7 +8,7 @@ accelerator; spawn edges become the detach/sync wiring between units.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
@@ -102,6 +102,9 @@ class TaskGraph:
         self.tasks: List[Task] = []
         self.root_for_function: Dict[Function, Task] = {}
         self._sid_counter = 0
+        #: block -> owning task, rebuilt lazily when the graph changes
+        self._owner_index: Dict[BasicBlock, Task] = {}
+        self._owner_index_size = -1
 
     def new_task(self, name: str, function: Function, entry: BasicBlock,
                  kind: str) -> Task:
@@ -117,10 +120,11 @@ class TaskGraph:
         return self.tasks[sid]
 
     def task_owning_block(self, block: BasicBlock) -> Optional[Task]:
-        for task in self.tasks:
-            if block in task.blocks:
-                return task
-        return None
+        total = sum(len(t.blocks) for t in self.tasks)
+        if total != self._owner_index_size:
+            self._owner_index = {b: t for t in self.tasks for b in t.blocks}
+            self._owner_index_size = total
+        return self._owner_index.get(block)
 
     # -- graph-level queries -----------------------------------------------
 
@@ -159,6 +163,78 @@ class TaskGraph:
             stack.extend(edges.get(current, []))
         return False
 
+    def spawn_closure(self, task: Task) -> List[Task]:
+        """``task`` plus every task transitively reachable through spawns
+        and calls — the set of tasks a single spawn of ``task`` may put in
+        flight."""
+        seen: Set[Task] = set()
+        stack = [task]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.spawn_targets(current))
+        return sorted(seen, key=lambda t: t.sid)
+
+    def _detach_target(self, task: Task, detach: Detach) -> Task:
+        child = task.region_spawns.get(detach)
+        if child is not None:
+            return child
+        return self.root_for_function[task.direct_spawns[detach].callee]
+
+    def unsynced_sibling_spawns(self, task: Task, detach: Detach) -> List[Detach]:
+        """Spawn sites of ``task`` reachable from ``detach``'s continuation
+        without crossing a ``sync`` — their subtrees may run in parallel
+        with ``detach``'s subtree. Includes ``detach`` itself when a loop
+        re-reaches it (self-parallel spawns, e.g. cilk_for bodies)."""
+        from repro.ir.instructions import Sync
+
+        owned = set(task.blocks)
+        found: List[Detach] = []
+        seen: Set[BasicBlock] = set()
+        stack = [detach.continuation]
+        while stack:
+            block = stack.pop()
+            if block in seen or block not in owned:
+                continue
+            seen.add(block)
+            term = block.terminator
+            if term is None or isinstance(term, Sync):
+                continue  # sync joins every outstanding child: stop here
+            if isinstance(term, Detach):
+                found.append(term)
+                stack.append(term.continuation)
+                continue
+            stack.extend(term.successors())
+        return found
+
+    def mhp_pairs(self) -> List[Tuple[Task, Task]]:
+        """Task-level may-happen-in-parallel pairs, derived from the
+        series-parallel spawn/sync structure. A pair ``(a, b)`` (with
+        ``a.sid <= b.sid``; ``a is b`` means self-parallelism) says
+        instances of the two static tasks may execute concurrently.
+        The fine-grained race analysis in :mod:`repro.analysis` refines
+        this to instruction pairs."""
+        pairs: Set[Tuple[int, int]] = set()
+
+        def add(a: Task, b: Task):
+            pairs.add((min(a.sid, b.sid), max(a.sid, b.sid)))
+
+        for task in self.tasks:
+            for detach in task.spawn_sites():
+                subtree = self.spawn_closure(self._detach_target(task, detach))
+                # the spawning task keeps running in parallel with the child
+                for spawned in subtree:
+                    add(task, spawned)
+                for sibling in self.unsynced_sibling_spawns(task, detach):
+                    sibling_subtree = self.spawn_closure(
+                        self._detach_target(task, sibling))
+                    for a in subtree:
+                        for b in sibling_subtree:
+                            add(a, b)
+        return [(self.tasks[a], self.tasks[b]) for a, b in sorted(pairs)]
+
     def describe(self) -> str:
         """Human-readable summary used by examples and docs."""
         lines = [f"task graph for module '{self.module.name}':"]
@@ -176,6 +252,10 @@ class TaskGraph:
             for call in task.calls:
                 root = self.root_for_function[call.callee]
                 lines.append(f"    calls  T{root.sid} (@{call.callee.name})")
+        pairs = self.mhp_pairs()
+        if pairs:
+            rendered = ", ".join(f"(T{a.sid},T{b.sid})" for a, b in pairs)
+            lines.append(f"  may-happen-in-parallel: {rendered}")
         return "\n".join(lines)
 
     def __repr__(self):

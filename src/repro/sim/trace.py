@@ -1,9 +1,17 @@
 """Execution tracing: a lightweight event log for debugging and for the
-execution-flow figures (paper Fig 5 / Fig 7 style traces)."""
+execution-flow figures (paper Fig 5 / Fig 7 style traces).
+
+Besides the human-readable ``detail`` string, events may carry a
+machine-readable ``payload`` dict. The task units and TXU tiles use
+payloads to record the spawn tree, sync/join points and every shared-
+memory access of a run — enough for the dynamic determinacy-race checker
+(:mod:`repro.analysis.dynamic`) to reconstruct the happens-before
+relation and cross-validate the static analysis.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 
@@ -13,6 +21,9 @@ class TraceEvent:
     source: str
     kind: str
     detail: str
+    payload: Optional[dict] = None
+    #: global emission order (monotonic even across filtered events)
+    seq: int = 0
 
     def __str__(self):
         return f"[{self.cycle:>8}] {self.source:<20} {self.kind:<10} {self.detail}"
@@ -26,16 +37,31 @@ class Trace:
         self.enabled = enabled
         self.events: List[TraceEvent] = []
         self.filter = filter_
+        self._seq = 0
 
-    def emit(self, cycle: int, source: str, kind: str, detail: str = ""):
+    def emit(self, cycle: int, source: str, kind: str, detail: str = "",
+             payload: Optional[dict] = None) -> Optional[TraceEvent]:
         if not self.enabled:
-            return
-        event = TraceEvent(cycle, source, kind, detail)
+            return None
+        event = TraceEvent(cycle, source, kind, detail, payload, self._seq)
+        self._seq += 1
         if self.filter is None or self.filter(event):
             self.events.append(event)
+        return event
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
+
+    def race_check(self, graph=None):
+        """Run the dynamic determinacy-race checker over this trace.
+
+        Returns the list of observed unordered conflicting access pairs
+        (empty for a race-free execution). Requires the trace to have
+        been enabled for the whole run. ``graph`` (a TaskGraph) adds
+        static provenance to epilogue stores when available."""
+        from repro.analysis.dynamic import DynamicRaceChecker
+
+        return DynamicRaceChecker(self, graph).conflicts()
 
     def render(self, limit: int = 200) -> str:
         lines = [str(e) for e in self.events[:limit]]

@@ -27,6 +27,10 @@ class SpawnMessage:
     join_kind: str = JOIN_SYNC
     call_token: Optional[Any] = None   # identifies the waiting call node
     ret_ptr: Optional[int] = None      # §IV-C shared-memory return slot
+    #: dynamic-checker provenance: spawning instance's globally-unique id
+    #: and the trace seq of the spawn issue (None when tracing is off)
+    parent_gid: Optional[Any] = None
+    spawn_seq: Optional[int] = None
 
     @property
     def port(self) -> int:
@@ -43,6 +47,7 @@ class JoinMessage:
     join_kind: str
     call_token: Optional[Any] = None
     retval: Any = None
+    child_gid: Optional[Any] = None  # joining instance, for the checker
 
     @property
     def port(self) -> int:

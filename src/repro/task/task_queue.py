@@ -43,6 +43,11 @@ class TaskEntry:
     saved_regs: Optional[dict] = None
     resume_block: Any = None
     spawn_seq: int = 0  # allocation order, for FIFO/LIFO scheduling
+    #: globally-unique instance id (sid, counter) — dyids are recycled,
+    #: so the dynamic race checker needs its own identity
+    gid: Any = None
+    parent_gid: Any = None
+    origin_seq: Optional[int] = None  # trace seq of the spawn issue
 
 
 class TaskQueue:
@@ -94,6 +99,9 @@ class TaskQueue:
         entry.saved_env = None
         entry.saved_regs = None
         entry.resume_block = None
+        entry.gid = None  # stamped by the owning TaskUnit
+        entry.parent_gid = getattr(msg, "parent_gid", None)
+        entry.origin_seq = getattr(msg, "spawn_seq", None)
         entry.spawn_seq = self._seq
         self._seq += 1
         self.total_allocated += 1

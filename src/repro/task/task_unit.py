@@ -59,6 +59,7 @@ class TaskUnit(Component):
             for i in range(len(tile_requests))
         ]
         self._uid_counter = 0
+        self._gid_counter = 0
         self._dispatch_rr = 0
         self._spawn_outbuf: Deque[SpawnMessage] = deque()
         self._join_outbuf: Deque[JoinMessage] = deque()
@@ -80,6 +81,15 @@ class TaskUnit(Component):
             raise SimulationError(f"{self.name}: task has no frame storage")
         return self.frame_base + dyid * self.frame_size
 
+    # -- dynamic-checker events --------------------------------------------
+
+    def analysis_event(self, kind: str, detail: str = "", payload=None):
+        """Emit a structured trace event (returns it, or None untraced)."""
+        if self.trace is None:
+            return None
+        cycle = self.sim.cycle if self.sim else 0
+        return self.trace.emit(cycle, self.name, kind, detail, payload=payload)
+
     # -- interface used by tiles ---------------------------------------------
 
     def issue_spawn(self, dest_sid: int, args: tuple, entry: TaskEntry,
@@ -87,10 +97,14 @@ class TaskUnit(Component):
         """A detach fired: enqueue the spawn and count the child."""
         if len(self._spawn_outbuf) >= OUTBOUND_BUFFER:
             return False
+        event = self.analysis_event("spawn-issue", f"-> T{dest_sid}",
+                                    {"gid": entry.gid, "dest_sid": dest_sid})
         self._spawn_outbuf.append(SpawnMessage(
             dest_sid=dest_sid, args=args,
             parent_sid=self.sid, parent_dyid=entry.dyid,
-            join_kind=JOIN_SYNC, ret_ptr=ret_ptr))
+            join_kind=JOIN_SYNC, ret_ptr=ret_ptr,
+            parent_gid=entry.gid,
+            spawn_seq=event.seq if event is not None else None))
         entry.child_count += 1
         self.spawns_issued += 1
         return True
@@ -100,10 +114,14 @@ class TaskUnit(Component):
         """A serial call fired: spawn the callee, expect a valued join."""
         if len(self._spawn_outbuf) >= OUTBOUND_BUFFER:
             return False
+        event = self.analysis_event("call-issue", f"-> T{dest_sid}",
+                                    {"gid": entry.gid, "dest_sid": dest_sid})
         self._spawn_outbuf.append(SpawnMessage(
             dest_sid=dest_sid, args=args,
             parent_sid=self.sid, parent_dyid=entry.dyid,
-            join_kind=JOIN_CALL, call_token=token))
+            join_kind=JOIN_CALL, call_token=token,
+            parent_gid=entry.gid,
+            spawn_seq=event.seq if event is not None else None))
         self.spawns_issued += 1
         return True
 
@@ -140,13 +158,15 @@ class TaskUnit(Component):
         if msg.join_kind == JOIN_CALL:
             tile_index, uid, node_idx = msg.call_token
             self.tiles[tile_index].deliver_call_return(
-                uid, node_idx, msg.retval, cycle)
+                uid, node_idx, msg.retval, cycle, child_gid=msg.child_gid)
             return
         self.queue.child_joined(msg.parent_dyid)
         entry = self.queue.entry(msg.parent_dyid)
         if entry.child_count == 0:
             if entry.state == SYNC:
                 self.queue.mark_ready(entry)  # resume past the sync
+                self.analysis_event("sync-resume", f"dyid={entry.dyid}",
+                                    {"gid": entry.gid})
             elif entry.state == COMPLETE:
                 self._join_ready.append(entry.dyid)
 
@@ -160,11 +180,18 @@ class TaskUnit(Component):
             raise SimulationError(
                 f"{self.name}: spawn for SID {msg.dest_sid} routed to "
                 f"SID {self.sid}")
-        self.queue.allocate(msg)
+        entry = self.queue.allocate(msg)
+        entry.gid = (self.sid, self._gid_counter)
+        self._gid_counter += 1
         self.spawns_accepted += 1
         if self.trace is not None:
             self.trace.emit(cycle, self.name, "spawn-in",
                             f"from T{msg.parent_sid}:{msg.parent_dyid}")
+            self.analysis_event(
+                "task-start", f"gid={entry.gid}",
+                {"gid": entry.gid, "parent_gid": entry.parent_gid,
+                 "origin_seq": entry.origin_seq,
+                 "call": msg.join_kind == JOIN_CALL})
 
     def _dispatch(self, cycle: int):
         if not self.queue.has_ready():
@@ -204,7 +231,7 @@ class TaskUnit(Component):
         self._join_outbuf.append(JoinMessage(
             parent_sid=entry.parent_sid, parent_dyid=entry.parent_dyid,
             join_kind=entry.join_kind, call_token=entry.call_token,
-            retval=entry.retval))
+            retval=entry.retval, child_gid=entry.gid))
         self.last_completion_cycle = cycle
         self.queue.release(entry)
 

@@ -211,11 +211,15 @@ class TXUTile:
             inst.env[node.inst] = raw_to_value(node.inst.type, resp.data or 0)
         inst.node_done[node_idx] = cycle
 
-    def deliver_call_return(self, uid: int, node_idx: int, retval, cycle: int):
+    def deliver_call_return(self, uid: int, node_idx: int, retval, cycle: int,
+                            child_gid=None):
         """A serial call completed; unblock the waiting call node."""
         inst = self._by_uid.get(uid)
         if inst is None:
             raise SimulationError(f"call return for unknown instance {uid}")
+        self.unit.analysis_event(
+            "call-return", f"gid={inst.entry.gid}",
+            {"gid": inst.entry.gid, "child_gid": child_gid})
         inst.pending_call.discard(node_idx)
         inst.wake_at = 0
         node = self.compiled.dfg(inst.block).nodes[node_idx]
@@ -359,6 +363,11 @@ class TXUTile:
                              size=ir.value.type.size_bytes,
                              data=value_to_raw(ir.value.type, value),
                              port=self.unit.port)
+        self.unit.analysis_event(
+            "mem", f"{req.op} addr={req.addr}",
+            {"gid": inst.entry.gid, "op": req.op, "addr": req.addr,
+             "size": req.size, "sid": self.unit.sid, "node": node.index,
+             "inst": ir})
         self.request_out.push(req)
         self._mem_issued_this_cycle = True
         inst.pending_mem.add(node.index)
@@ -400,6 +409,10 @@ class TXUTile:
             if inst.entry.child_count > 0:
                 self._suspend(inst, term.continuation)
             else:
+                # nothing outstanding: the sync is still a join point
+                self.unit.analysis_event("sync-pass",
+                                         f"gid={inst.entry.gid}",
+                                         {"gid": inst.entry.gid})
                 self._enter_block(inst, term.continuation, cycle)
         elif isinstance(term, Br):
             self._enter_block(inst, term.dest, cycle)
@@ -463,6 +476,11 @@ class TXUTile:
             return
         rettype = self.compiled.task.function.return_type
         tag = MemTag(self.unit.sid, self.tile_index, inst.uid, _EPILOGUE_NODE)
+        self.unit.analysis_event(
+            "mem", f"store addr={int(inst.entry.ret_ptr)} (ret)",
+            {"gid": inst.entry.gid, "op": "store",
+             "addr": int(inst.entry.ret_ptr), "size": rettype.size_bytes,
+             "sid": self.unit.sid, "node": _EPILOGUE_NODE, "inst": None})
         self.request_out.push(MemRequest(
             tag=tag, op="store", addr=int(inst.entry.ret_ptr),
             size=rettype.size_bytes,

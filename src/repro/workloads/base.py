@@ -68,13 +68,15 @@ class Workload:
         """Allocate inputs in ``memory`` and return args + checker."""
         raise NotImplementedError
 
-    def build(self, config: Optional[AcceleratorConfig] = None) -> Accelerator:
-        return build_accelerator(self.fresh_module(), config or self.default_config())
+    def build(self, config: Optional[AcceleratorConfig] = None,
+              trace=None) -> Accelerator:
+        return build_accelerator(self.fresh_module(),
+                                 config or self.default_config(), trace=trace)
 
     def run(self, config: Optional[AcceleratorConfig] = None, scale: int = 1,
-            max_cycles: int = 50_000_000) -> WorkloadResult:
+            max_cycles: int = 50_000_000, trace=None) -> WorkloadResult:
         """Build, offload, verify. The standard benchmark entry point."""
-        acc = self.build(config)
+        acc = self.build(config, trace=trace)
         prepared = self.prepare(acc.memory, scale)
         result = acc.run(prepared.function, prepared.args, max_cycles=max_cycles)
         correct = prepared.check(acc.memory, result.retval)

@@ -138,6 +138,62 @@ class TestRejectsBrokenIR:
         with pytest.raises(VerificationError, match="no matching detach"):
             verify_function(f)
 
+    def test_detach_target_outside_function(self):
+        f = Function("f", [], [], VOID)
+        entry = f.add_block("entry")
+        cont = f.add_block("cont")
+        other = Function("g", [], [], VOID)
+        foreign = other.add_block("body")
+        IRBuilder(foreign).reattach(cont)
+        b = IRBuilder(entry)
+        b.detach(foreign, cont)
+        b.position_at_end(cont)
+        b.ret()
+        with pytest.raises(VerificationError, match="not a block"):
+            verify_function(f)
+
+    def test_sync_escaping_detached_region(self):
+        f = Function("f", [], [], VOID)
+        entry = f.add_block("entry")
+        body = f.add_block("body")
+        cont = f.add_block("cont")
+        b = IRBuilder(entry)
+        b.detach(body, cont)
+        b.position_at_end(body)
+        b.sync(cont)  # wrong: the region must close with reattach
+        b.position_at_end(cont)
+        b.ret()
+        with pytest.raises(VerificationError, match="escapes"):
+            verify_function(f)
+
+    def test_sync_inside_detached_region_is_legal(self):
+        """Nested fork-join inside a detached region syncs *within* the
+        region — that must verify (nested cilk_for relies on it)."""
+        f = Function("f", [I32], ["x"], VOID)
+        entry = f.add_block("entry")
+        body = f.add_block("body")
+        inner = f.add_block("inner")
+        inner_cont = f.add_block("inner_cont")
+        joined = f.add_block("joined")
+        cont = f.add_block("cont")
+        after = f.add_block("after")
+        b = IRBuilder(entry)
+        b.detach(body, cont)
+        b.position_at_end(body)
+        b.detach(inner, inner_cont)
+        b.position_at_end(inner)
+        b.add(f.arguments[0], const(1))
+        b.reattach(inner_cont)
+        b.position_at_end(inner_cont)
+        b.sync(joined)
+        b.position_at_end(joined)
+        b.reattach(cont)
+        b.position_at_end(cont)
+        b.sync(after)
+        b.position_at_end(after)
+        b.ret()
+        verify_function(f)
+
     def test_ret_inside_detached_region(self):
         f = Function("f", [], [], VOID)
         entry = f.add_block("entry")

@@ -18,6 +18,19 @@ def kernel_file(tmp_path):
     return str(path)
 
 
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.tapas"
+    path.write_text("""
+    func racy_sum(a: i32*, out: i32*, n: i32) {
+      cilk_for (var i: i32 = 0; i < n; i = i + 1) {
+        out[0] = out[0] + a[i];
+      }
+    }
+    """)
+    return str(path)
+
+
 class TestCommands:
     def test_compile_prints_ir(self, kernel_file, capsys):
         assert main(["compile", kernel_file]) == 0
@@ -33,6 +46,58 @@ class TestCommands:
     def test_taskgraph_dot(self, kernel_file, capsys):
         assert main(["taskgraph", kernel_file, "--dot"]) == 0
         assert capsys.readouterr().out.startswith("digraph")
+
+    def test_analyze_clean_program(self, kernel_file, capsys):
+        assert main(["analyze", kernel_file]) == 0
+        assert "clean (no findings)" in capsys.readouterr().out
+
+    def test_analyze_racy_program_fails(self, racy_file, capsys):
+        assert main(["analyze", racy_file]) == 1
+        out = capsys.readouterr().out
+        assert "TAP-RACE-001" in out
+        assert "spawn site at line" in out
+
+    def test_analyze_json_format(self, racy_file, capsys):
+        import json
+
+        assert main(["analyze", racy_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["module"] == "racy"
+        assert payload["summary"]["errors"] == 2
+
+    def test_analyze_fail_on_warning(self, kernel_file, tmp_path, capsys):
+        # a possible (warning-level) race: symbolic stride the affine
+        # model cannot prove disjoint
+        path = tmp_path / "warned.tapas"
+        path.write_text("""
+        func rows(a: i32*, n: i32, m: i32) {
+          cilk_for (var i: i32 = 0; i < n; i = i + 1) {
+            a[i * m] = i;
+          }
+        }
+        """)
+        assert main(["analyze", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(path), "--fail-on", "warning"]) == 1
+        assert "TAP-RACE-002" in capsys.readouterr().out
+
+    def test_analyze_shipped_example_programs(self, capsys):
+        """The examples/programs fixtures behave as advertised: racy_*
+        fail the gate, everything else is clean — the contract CI runs."""
+        import glob
+        import os
+
+        root = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "examples", "programs")
+        programs = sorted(glob.glob(os.path.join(root, "*.cilk")))
+        assert programs, "examples/programs/*.cilk fixtures missing"
+        for program in programs:
+            code = main(["analyze", program, "--fail-on", "error"])
+            capsys.readouterr()
+            if "racy_" in os.path.basename(program):
+                assert code == 1, f"{program} should fail the analyzer"
+            else:
+                assert code == 0, f"{program} should be race-free"
 
     def test_emit_chisel(self, kernel_file, capsys):
         assert main(["emit", kernel_file]) == 0
