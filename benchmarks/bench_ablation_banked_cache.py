@@ -16,7 +16,7 @@ import pytest
 from dataclasses import replace
 
 from repro.memory.cache import CacheParams
-from repro.reports import render_table
+from repro.reports import bench_record, render_table
 from repro.workloads import REGISTRY
 
 NAMES = ["matrix_add", "saxpy", "dedup"]
@@ -31,7 +31,7 @@ def run_banked(name, banks):
     return result.cycles
 
 
-def test_ablation_banked_cache(benchmark, save_result):
+def test_ablation_banked_cache(benchmark, save_result, save_json):
     def run():
         return {name: {banks: run_banked(name, banks) for banks in (1, 2, 4)}
                 for name in NAMES}
@@ -48,6 +48,10 @@ def test_ablation_banked_cache(benchmark, save_result):
         title="Ablation — banked L1 (negative result: the per-unit data "
               "box is the real port bottleneck)")
     save_result("ablation_banked_cache", text)
+    save_json("ablation_banked_cache", [
+        bench_record(name, config={"ntiles": 8, "banks": banks, "scale": 2},
+                     cycles=data[name][banks])
+        for name in NAMES for banks in (1, 2, 4)])
 
     for name in NAMES:
         d = data[name]

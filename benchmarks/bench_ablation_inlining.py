@@ -11,7 +11,7 @@ import pytest
 from repro.accel import build_accelerator
 from repro.ir.types import I32
 from repro.passes import inline_calls, prune_unreachable_functions
-from repro.reports import render_table
+from repro.reports import bench_record, render_table
 from repro.workloads import Mergesort
 
 
@@ -27,7 +27,7 @@ def run_mergesort(module, n=64):
     return result.cycles, len(accel.units)
 
 
-def test_ablation_inline_serial_callees(benchmark, save_result):
+def test_ablation_inline_serial_callees(benchmark, save_result, save_json):
     def run():
         workload = Mergesort()
         baseline = run_mergesort(workload.fresh_module())
@@ -43,6 +43,10 @@ def test_ablation_inline_serial_callees(benchmark, save_result):
                         title="Ablation — inlining the serial merge "
                               "(paper §VI: eliminate task controllers)")
     save_result("ablation_inlining", text)
+    save_json("ablation_inlining", [
+        bench_record("mergesort", config={"variant": name, "n": 64},
+                     cycles=cycles, task_units=units)
+        for name, (cycles, units) in data.items()])
 
     base_cycles, base_units = data["spawn merge unit"]
     inl_cycles, inl_units = data["inline merge"]

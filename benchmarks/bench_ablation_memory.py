@@ -12,7 +12,7 @@ from dataclasses import replace
 
 from repro.accel import AcceleratorConfig, TaskUnitParams
 from repro.memory.cache import CacheParams
-from repro.reports import render_table
+from repro.reports import bench_record, render_table
 from repro.workloads import REGISTRY
 
 
@@ -37,7 +37,7 @@ def run_with(name, scale=2, ntiles=4, cache=None, databox_entries=8):
     return result.cycles
 
 
-def test_ablation_mshr_count(benchmark, save_result):
+def test_ablation_mshr_count(benchmark, save_result, save_json):
     """More MSHRs overlap more misses; 1 MSHR serialises DRAM traffic."""
 
     def run():
@@ -55,6 +55,10 @@ def test_ablation_mshr_count(benchmark, save_result):
     text = render_table(["MSHRs", "saxpy cycles", "matrix cycles"], rows,
                         title="Ablation — MSHR count (memory-bound kernels)")
     save_result("ablation_mshr", text)
+    save_json("ablation_mshr", [
+        bench_record(name, config={"ntiles": 4, "mshrs": mshrs, "scale": 2},
+                     cycles=cycles)
+        for mshrs, d in data.items() for name, cycles in d.items()])
 
     # fewer MSHRs must not be faster; 1 MSHR visibly hurts streaming codes
     assert data[1]["saxpy"] > data[4]["saxpy"] * 1.1
@@ -62,7 +66,7 @@ def test_ablation_mshr_count(benchmark, save_result):
     assert data[8]["matrix_add"] <= data[1]["matrix_add"]
 
 
-def test_ablation_cache_size(benchmark, save_result):
+def test_ablation_cache_size(benchmark, save_result, save_json):
     """The paper's 16K L1 vs smaller: once the matrices stop fitting,
     conflict misses start costing AXI round trips."""
 
@@ -78,11 +82,16 @@ def test_ablation_cache_size(benchmark, save_result):
     text = render_table(["L1 KB", "matrix_add cycles"], rows,
                         title="Ablation — shared L1 capacity")
     save_result("ablation_cache_size", text)
+    save_json("ablation_cache_size", [
+        bench_record("matrix_add",
+                     config={"ntiles": 4, "l1_kb": kb, "scale": 2},
+                     cycles=cycles)
+        for kb, cycles in data.items()])
     assert data[16] < data[1]   # 3 matrices thrash a 1 KB L1
     assert data[16] <= data[4]
 
 
-def test_ablation_databox_entries(benchmark, save_result):
+def test_ablation_databox_entries(benchmark, save_result, save_json):
     """The Fig 8 allocator table bounds memory parallelism per unit: a
     single staging entry serialises every tile's memory operations."""
 
@@ -95,4 +104,10 @@ def test_ablation_databox_entries(benchmark, save_result):
     text = render_table(["Entries", "matrix cycles"], rows,
                         title="Ablation — data-box staging entries")
     save_result("ablation_databox", text)
+    save_json("ablation_databox", [
+        bench_record("matrix_add",
+                     config={"ntiles": 4, "databox_entries": entries,
+                             "scale": 2},
+                     cycles=cycles)
+        for entries, cycles in data.items()])
     assert data[8] < data[1]

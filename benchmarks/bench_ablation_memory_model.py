@@ -11,7 +11,7 @@ import pytest
 
 from dataclasses import replace
 
-from repro.reports import render_table
+from repro.reports import bench_record, render_table
 from repro.workloads import REGISTRY
 
 NAMES = ["matrix_add", "saxpy", "stencil", "dedup"]
@@ -25,7 +25,7 @@ def run_with_model(name, model):
     return result.cycles
 
 
-def test_ablation_cache_vs_scratchpad(benchmark, save_result):
+def test_ablation_cache_vs_scratchpad(benchmark, save_result, save_json):
     def run():
         return {
             name: {model: run_with_model(name, model)
@@ -44,6 +44,11 @@ def test_ablation_cache_vs_scratchpad(benchmark, save_result):
         ["Benchmark", "cache cycles", "scratchpad cycles", "cache cost"],
         rows, title="Ablation — cache vs scratchpad memory model")
     save_result("ablation_memory_model", text)
+    save_json("ablation_memory_model", [
+        bench_record(name,
+                     config={"ntiles": 4, "memory_model": model, "scale": 2},
+                     cycles=data[name][model])
+        for name in NAMES for model in ("cache", "scratchpad")])
 
     for name in NAMES:
         # deterministic SRAM is never slower than the miss-taking cache

@@ -9,7 +9,7 @@ import pytest
 
 from repro.accel import AcceleratorConfig, TaskUnitParams, build_accelerator
 from repro.errors import DeadlockError
-from repro.reports import render_table
+from repro.reports import bench_record, render_table
 from repro.workloads import REGISTRY, fib_reference
 
 
@@ -25,7 +25,7 @@ def run_fib(n, queue_depth, policy, ntiles=4):
     return result.cycles, peak
 
 
-def test_ablation_queue_policy(benchmark, save_result):
+def test_ablation_queue_policy(benchmark, save_result, save_json):
     """LIFO (depth-first) keeps the live spawn tree far smaller than
     FIFO (breadth-first) at equal correctness."""
 
@@ -40,6 +40,12 @@ def test_ablation_queue_policy(benchmark, save_result):
     text = render_table(["Policy", "cycles", "peak queue occupancy"], rows,
                         title="Ablation — dispatch policy on fib(12)")
     save_result("ablation_policy", text)
+    save_json("ablation_policy", [
+        bench_record("fibonacci",
+                     config={"ntiles": 4, "queue_depth": 1024,
+                             "policy": policy, "n": 12},
+                     cycles=cycles, peak_queue_occupancy=peak)
+        for policy, (cycles, peak) in data.items()])
 
     # with 4 tiles x 8 in-flight there are ~32 concurrent walkers, which
     # dilutes pure depth-first order — the live tree still shrinks ~25%
@@ -49,7 +55,7 @@ def test_ablation_queue_policy(benchmark, save_result):
         f"LIFO peak {lifo_peak} not smaller than FIFO {fifo_peak}")
 
 
-def test_ablation_queue_depth_safety(benchmark, save_result):
+def test_ablation_queue_depth_safety(benchmark, save_result, save_json):
     """An undersized queue is a circular wait: the engine reports the
     livelock instead of hanging, and a tree-sized queue always works."""
 
@@ -69,12 +75,19 @@ def test_ablation_queue_depth_safety(benchmark, save_result):
                         title="Ablation — queue depth vs fib(12)'s "
                               "465-task spawn tree")
     save_result("ablation_queue_depth", text)
+    save_json("ablation_queue_depth", [
+        bench_record("fibonacci",
+                     config={"ntiles": 4, "queue_depth": depth,
+                             "policy": "lifo", "n": 12},
+                     cycles=cycles, outcome=outcome,
+                     peak_queue_occupancy=peak)
+        for depth, (outcome, cycles, peak) in data.items()])
 
     assert data[8][0] == "livelock"
     assert data[512][0] == "ok"
 
 
-def test_ablation_inflight_depth(benchmark, save_result):
+def test_ablation_inflight_depth(benchmark, save_result, save_json):
     """Per-tile pipelining (Fig 7): deeper in-flight windows raise
     throughput per tile until another resource saturates."""
 
@@ -99,4 +112,10 @@ def test_ablation_inflight_depth(benchmark, save_result):
     text = render_table(["In-flight/tile", "stencil cycles"], rows,
                         title="Ablation — per-tile task pipelining depth")
     save_result("ablation_inflight", text)
+    save_json("ablation_inflight", [
+        bench_record("stencil",
+                     config={"ntiles": 2, "max_inflight_per_tile": inflight,
+                             "scale": 2},
+                     cycles=cycles)
+        for inflight, cycles in data.items()])
     assert data[8] < data[1] * 0.7

@@ -14,7 +14,7 @@ from repro.baselines import MulticoreCPU
 from repro.frontend import compile_source
 from repro.ir.types import I32
 from repro.memory.backing import MainMemory
-from repro.reports import render_series
+from repro.reports import bench_record, render_series
 from repro.workloads import ScaleMicro
 
 TILE_COUNTS = [1, 2, 3, 4, 5]
@@ -65,16 +65,19 @@ def software_madds_per_s(work_ops: int) -> float:
     return adds / result.time_seconds(cpu.model) / 1e6
 
 
-def test_fig13_performance_scaling(benchmark, save_result):
+def test_fig13_performance_scaling(benchmark, save_result, save_json):
     def run():
         table = {}
+        cycles = {}
         for adders in ADDER_COUNTS:
-            table[adders] = [fpga_madds_per_s(adders, tiles)[0]
-                             for tiles in TILE_COUNTS]
+            pairs = [fpga_madds_per_s(adders, tiles)
+                     for tiles in TILE_COUNTS]
+            table[adders] = [p[0] for p in pairs]
+            cycles[adders] = [p[1] for p in pairs]
         software = {a: software_madds_per_s(a) for a in ADDER_COUNTS}
-        return table, software
+        return table, cycles, software
 
-    table, software = benchmark.pedantic(run, rounds=1, iterations=1)
+    table, cycles, software = benchmark.pedantic(run, rounds=1, iterations=1)
 
     series = [(f"{a} adders", [round(v, 1) for v in table[a]])
               for a in ADDER_COUNTS]
@@ -85,6 +88,17 @@ def test_fig13_performance_scaling(benchmark, save_result):
         "(million adds/s, Arria 10 @300 MHz)",
         "tiles", TILE_COUNTS, series)
     save_result("fig13_spawn_scaling", text)
+    records = [bench_record("scale_micro",
+                            config={"tiles": tiles, "adders": adders},
+                            cycles=cycles[adders][i],
+                            madds_per_s=round(table[adders][i], 1))
+               for adders in ADDER_COUNTS
+               for i, tiles in enumerate(TILE_COUNTS)]
+    records += [bench_record("scale_micro_software",
+                             config={"cores": 4, "adders": adders},
+                             madds_per_s=round(software[adders], 1))
+                for adders in ADDER_COUNTS]
+    save_json("fig13_spawn_scaling", records)
 
     # paper shape 1: monotone scaling with tiles for every grain
     for adders in ADDER_COUNTS:
@@ -100,7 +114,7 @@ def test_fig13_performance_scaling(benchmark, save_result):
     assert max(table[50]) > 1000
 
 
-def test_fig13_spawn_rate_headline(benchmark, save_result):
+def test_fig13_spawn_rate_headline(benchmark, save_result, save_json):
     """§V-A headline: tens of millions of spawns per second, i.e. a task
     spawned every ~10 cycles."""
 
@@ -115,5 +129,9 @@ def test_fig13_spawn_rate_headline(benchmark, save_result):
             f"-> {spawns_per_s/1e6:.1f} M spawns/s at {ARRIA_MHZ:.0f} MHz "
             f"(paper: ~10 cycles, ~40 M spawns/s)")
     save_result("fig13_spawn_rate", text)
+    save_json("fig13_spawn_rate", [bench_record(
+        "scale_micro", config={"tiles": 5, "adders": 10}, cycles=cycles,
+        cycles_per_spawn=round(cycles_per_spawn, 1),
+        spawns_per_s=round(spawns_per_s))])
     assert cycles_per_spawn < 15
     assert spawns_per_s > 20e6

@@ -9,7 +9,7 @@ amortised to a sliver (~3%) and the memory network stays under 10%.
 import pytest
 
 from repro.accel import AcceleratorConfig, TaskUnitParams, build_accelerator
-from repro.reports import estimate_resources, render_table
+from repro.reports import bench_record, estimate_resources, render_table
 from repro.workloads import ScaleMicro
 
 CONFIGS = [(1, 1), (1, 50), (10, 1), (10, 50)]
@@ -26,7 +26,7 @@ def breakdown_for(tiles: int, ins: int):
     return report.breakdown(), report.alms
 
 
-def test_fig14_alm_breakdown(benchmark, save_result):
+def test_fig14_alm_breakdown(benchmark, save_result, save_json):
     def run():
         return {cfg: breakdown_for(*cfg) for cfg in CONFIGS}
 
@@ -47,6 +47,13 @@ def test_fig14_alm_breakdown(benchmark, save_result):
         ["Config", "Tiles%", "ParallelFor%", "TaskCtrl%", "MemArb%", "Misc%"],
         rows, title="Figure 14 — ALM utilisation by sub-block")
     save_result("fig14_alm_breakdown", text)
+    save_json("fig14_alm_breakdown", [
+        bench_record("scale_micro",
+                     config={"tiles": tiles, "instructions": ins},
+                     total_alms=total,
+                     **{f"{k}_pct": round(v, 1)
+                        for k, v in shares[(tiles, ins)].items()})
+        for (tiles, ins), (_breakdown, total) in data.items()])
 
     def overhead(cfg):
         pct = shares[cfg]

@@ -9,7 +9,7 @@ Stencil is compute-heavy and keeps scaling to 8 tiles.
 
 import pytest
 
-from repro.reports import render_series
+from repro.reports import bench_record, render_series
 from repro.workloads import REGISTRY
 
 TILES = [1, 2, 4, 8]
@@ -28,7 +28,7 @@ def sweep(name):
     return cycles
 
 
-def test_fig15_tile_scaling(benchmark, save_result):
+def test_fig15_tile_scaling(benchmark, save_result, save_json):
     def run():
         return {name: sweep(name) for name in REGISTRY.names()}
 
@@ -44,6 +44,11 @@ def test_fig15_tile_scaling(benchmark, save_result):
         "Figure 15 — Normalised performance vs tiles/task (1 tile = 1.0)",
         "tiles", TILES, series)
     save_result("fig15_tile_scaling", text)
+    save_json("fig15_tile_scaling", [
+        bench_record(name, config={"ntiles": tiles, "scale": SCALES[name]},
+                     cycles=data[name][tiles],
+                     speedup=round(data[name][1] / data[name][tiles], 2))
+        for name in REGISTRY.names() for tiles in TILES])
 
     # paper shape: everything except dedup gains from extra tiles.
     # (Our shared L1 accepts one request/cycle, so the memory-bound codes

@@ -13,7 +13,12 @@ import pytest
 from repro.accel import ARRIA_10, CYCLONE_V
 from repro.baselines import MulticoreCPU
 from repro.memory.backing import MainMemory
-from repro.reports import estimate_mhz, estimate_resources, render_table
+from repro.reports import (
+    bench_record,
+    estimate_mhz,
+    estimate_resources,
+    render_table,
+)
 from repro.workloads import REGISTRY
 
 SCALE = 2
@@ -49,7 +54,7 @@ def measure(name):
     return gains
 
 
-def test_fig16_performance_vs_i7(benchmark, save_result):
+def test_fig16_performance_vs_i7(benchmark, save_result, save_json):
     def run():
         return {name: measure(name) for name in REGISTRY.names()}
 
@@ -67,6 +72,13 @@ def test_fig16_performance_vs_i7(benchmark, save_result):
         rows,
         title="Figure 16 — Performance vs Intel i7 (>1 means FPGA faster)")
     save_result("fig16_vs_cpu", text)
+    save_json("fig16_vs_cpu", [
+        bench_record(name, config={"ntiles": 4, "scale": SCALE},
+                     cyclone_v_gain=round(gains[name][CYCLONE_V.name], 2),
+                     arria_10_gain=round(gains[name][ARRIA_10.name], 2),
+                     paper_cyclone_v=PAPER_CYCLONE[name],
+                     paper_arria_10=PAPER_ARRIA[name])
+        for name in REGISTRY.names()])
 
     cyclone = {n: gains[n][CYCLONE_V.name] for n in gains}
     arria = {n: gains[n][ARRIA_10.name] for n in gains}

@@ -13,6 +13,7 @@ from repro.accel import ARRIA_10, CYCLONE_V
 from repro.baselines import MulticoreCPU
 from repro.memory.backing import MainMemory
 from repro.reports import (
+    bench_record,
     cpu_power_watts,
     estimate_mhz,
     estimate_resources,
@@ -55,7 +56,7 @@ def measure(name):
     return gains
 
 
-def test_fig17_perf_per_watt(benchmark, save_result):
+def test_fig17_perf_per_watt(benchmark, save_result, save_json):
     def run():
         return {name: measure(name) for name in REGISTRY.names()}
 
@@ -72,6 +73,15 @@ def test_fig17_perf_per_watt(benchmark, save_result):
         rows,
         title="Figure 17 — Perf/Watt vs Intel i7 (>1 means FPGA better)")
     save_result("fig17_perf_per_watt", text)
+    save_json("fig17_perf_per_watt", [
+        bench_record(name, config={"ntiles": 4, "scale": SCALE},
+                     cyclone_v_perf_per_watt=round(
+                         gains[name][CYCLONE_V.name], 1),
+                     arria_10_perf_per_watt=round(
+                         gains[name][ARRIA_10.name], 1),
+                     paper_cyclone_v=PAPER[name][0],
+                     paper_arria_10=PAPER[name][1])
+        for name in REGISTRY.names()])
 
     cyclone = {n: gains[n][CYCLONE_V.name] for n in gains}
 

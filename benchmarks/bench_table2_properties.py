@@ -12,7 +12,7 @@ memory, only dedup is irregular).
 import pytest
 
 from repro.accel import generate
-from repro.reports import render_table
+from repro.reports import bench_record, render_table
 from repro.workloads import REGISTRY
 
 PAPER = {
@@ -36,7 +36,7 @@ def properties(name):
     }
 
 
-def test_table2_benchmark_properties(benchmark, save_result):
+def test_table2_benchmark_properties(benchmark, save_result, save_json):
     def run():
         return {name: properties(name) for name in REGISTRY.names()}
 
@@ -53,6 +53,15 @@ def test_table2_benchmark_properties(benchmark, save_result):
          "#Mem", "paper"],
         rows, title="Table II — Benchmark properties")
     save_result("table2_properties", text)
+    save_json("table2_properties", [
+        bench_record(name, challenge=data[name]["challenge"],
+                     memory_pattern=data[name]["pattern"],
+                     tasks=data[name]["tasks"],
+                     instructions=data[name]["insts"],
+                     memory_ops=data[name]["mems"],
+                     paper_instructions=PAPER[name][0],
+                     paper_memory_ops=PAPER[name][1])
+        for name in REGISTRY.names()])
 
     # dedup is by far the largest program (paper: 180 insts vs <60)
     insts = {n: data[n]["insts"] for n in data}

@@ -15,7 +15,12 @@ from repro.accel import (
     TaskUnitParams,
     build_accelerator,
 )
-from repro.reports import estimate_mhz, estimate_resources, render_table
+from repro.reports import (
+    bench_record,
+    estimate_mhz,
+    estimate_resources,
+    render_table,
+)
 from repro.workloads import ScaleMicro
 
 CONFIGS = [(1, 1), (1, 50), (10, 1), (10, 50)]
@@ -36,7 +41,7 @@ def build_micro(tiles: int, ins: int):
     return build_accelerator(workload.fresh_module(), config)
 
 
-def test_table3_utilization(benchmark, save_result):
+def test_table3_utilization(benchmark, save_result, save_json):
     def run():
         rows = []
         reports = {}
@@ -61,6 +66,13 @@ def test_table3_utilization(benchmark, save_result):
         ["Board", "Tiles", "Ins", "MHz", "ALM", "Reg", "BRAM", "%Chip"],
         rows, title="Table III — FPGA utilisation (model vs paper)")
     save_result("table3_utilization", text)
+    save_json("table3_utilization", [
+        bench_record("scale_micro",
+                     config={"board": board, "tiles": tiles,
+                             "instructions": ins},
+                     mhz=mhz, alms=alms, regs=regs, brams=brams,
+                     chip_percent=pct)
+        for board, tiles, ins, mhz, alms, regs, brams, pct in rows])
 
     # model accuracy against the published points
     for config, (p_mhz, p_alm, p_reg, p_bram, p_pct) in PAPER_CYCLONE.items():

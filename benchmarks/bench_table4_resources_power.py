@@ -10,6 +10,7 @@ import pytest
 
 from repro.accel import CYCLONE_V
 from repro.reports import (
+    bench_record,
     estimate_mhz,
     estimate_resources,
     fpga_power_watts,
@@ -37,7 +38,7 @@ def measure(name):
     return report, mhz, watts
 
 
-def test_table4_resources_power(benchmark, save_result):
+def test_table4_resources_power(benchmark, save_result, save_json):
     def run():
         return {name: measure(name) for name in REGISTRY.names()}
 
@@ -55,6 +56,16 @@ def test_table4_resources_power(benchmark, save_result):
          "BRAM", "paper", "Power", "paper"],
         rows, title="Table IV — FPGA resources and power (Cyclone V)")
     save_result("table4_resources_power", text)
+    save_json("table4_resources_power", [
+        bench_record(name,
+                     config={"board": CYCLONE_V.name,
+                             "tiles": REGISTRY.get(name).paper_tiles},
+                     mhz=round(data[name][1]), alms=data[name][0].alms,
+                     regs=data[name][0].regs, brams=data[name][0].brams,
+                     watts=round(data[name][2], 3),
+                     paper_mhz=PAPER[name][1], paper_alms=PAPER[name][2],
+                     paper_brams=PAPER[name][4], paper_watts=PAPER[name][5])
+        for name in REGISTRY.names()])
 
     watts = {name: data[name][2] for name in data}
     brams = {name: data[name][0].brams for name in data}

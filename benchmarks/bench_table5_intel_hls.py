@@ -19,7 +19,12 @@ from repro.baselines import IMAGE_SCALE_SPEC, SAXPY_SPEC, synthesize_static
 from repro.frontend import compile_source
 from repro.ir.opsem import eval_binop, to_f32
 from repro.ir.types import F32, I32
-from repro.reports import estimate_mhz, estimate_resources, render_table
+from repro.reports import (
+    bench_record,
+    estimate_mhz,
+    estimate_resources,
+    render_table,
+)
 
 UNROLL = 3
 TILES = 3
@@ -91,7 +96,7 @@ def run_tapas_image():
     return accel, result
 
 
-def test_table5_intel_hls_vs_tapas(benchmark, save_result):
+def test_table5_intel_hls_vs_tapas(benchmark, save_result, save_json):
     def run():
         rows = {}
         for name, spec, runner in (
@@ -131,6 +136,21 @@ def test_table5_intel_hls_vs_tapas(benchmark, save_result):
         title=f"Table V — Intel HLS (unroll {UNROLL}) vs TAPAS "
               f"({TILES} tiles), {N_ELEMENTS} elements")
     save_result("table5_intel_hls", text)
+    records = []
+    for name, d in data.items():
+        intel = d["intel"]
+        records.append(bench_record(
+            name, config={"tool": "intel_hls", "unroll": UNROLL,
+                          "elements": N_ELEMENTS},
+            cycles=intel.cycles, mhz=round(intel.mhz), alms=intel.alms,
+            regs=intel.registers, brams=intel.brams))
+        records.append(bench_record(
+            name, config={"tool": "tapas", "tiles": TILES,
+                          "elements": N_ELEMENTS},
+            cycles=d["tapas_cycles"], mhz=round(d["tapas_mhz"]),
+            alms=d["tapas_alms"], regs=d["tapas_regs"],
+            brams=d["tapas_brams"]))
+    save_json("table5_intel_hls", records)
 
     for name, d in data.items():
         intel = d["intel"]

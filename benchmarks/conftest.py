@@ -29,3 +29,21 @@ def save_result():
         print(text)
 
     return _save
+
+
+@pytest.fixture
+def save_json():
+    """Persist machine-readable records under results/<name>.json.
+
+    ``records`` is a list of dicts from
+    :func:`repro.reports.benchjson.bench_record`; the document schema is
+    validated on write so every bench stays comparable across PRs.
+    """
+    from repro.reports.benchjson import write_bench_json
+
+    def _save(name: str, records):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.json")
+        write_bench_json(path, name, records)
+
+    return _save

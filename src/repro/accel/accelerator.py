@@ -42,11 +42,14 @@ class Accelerator:
     """A fully elaborated parallel accelerator plus its host interface."""
 
     def __init__(self, design: GeneratedDesign, config: AcceleratorConfig,
-                 trace: Optional[Trace] = None):
+                 trace: Optional[Trace] = None, observer=None):
         self.design = design
         self.config = config
         self.trace = trace
+        self.observer = observer
         self.sim = Simulator(design.module.name)
+        if observer is not None:
+            self.sim.attach_observer(observer)
         self.memory = MainMemory(config.memory_bytes)
         self._assign_globals(design.module)
 
@@ -176,6 +179,11 @@ class Accelerator:
             stats["dram"] = self.dram.stats()
         if self.scratchpad is not None:
             stats["scratchpad"] = self.scratchpad.stats()
+        channels = self.sim.stats().get("channels")
+        if channels:
+            stats["channels"] = channels
+        if self.observer is not None:
+            stats["obs"] = self.observer.as_dict()
         return stats
 
 
@@ -202,10 +210,11 @@ def _analysis_gate(design, level: str, module_name: str):
 
 
 def build_accelerator(module: Module, config: Optional[AcceleratorConfig] = None,
-                      trace: Optional[Trace] = None) -> Accelerator:
+                      trace: Optional[Trace] = None,
+                      observer=None) -> Accelerator:
     """The complete toolchain: parallel IR in, elaborated accelerator out."""
     config = config or AcceleratorConfig()
     design = generate(module)
     if config.analysis_level != "none":
         _analysis_gate(design, config.analysis_level, module.name)
-    return Accelerator(design, config, trace=trace)
+    return Accelerator(design, config, trace=trace, observer=observer)

@@ -8,12 +8,14 @@ Subcommands mirror the toolchain stages:
 * ``emit``      — source file -> Chisel-flavoured or Verilog RTL
 * ``estimate``  — source file -> resources / fmax / power per board
 * ``run``       — execute a registered workload and report cycles
+* ``profile``   — run a source file under the cycle profiler
 * ``workloads`` — list the paper's benchmark suite
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -100,19 +102,171 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def _write_stats_json(path: str, workload_name: str, config, cycles: int,
+                      stats: dict, observer=None, extra=None):
+    """The ``--stats-json`` document: the BENCH_*.json record schema."""
+    from repro.reports.benchjson import (
+        bench_record,
+        utilization_from_stats,
+    )
+
+    utilization = None
+    stalls = None
+    if observer is not None:
+        utilization = {ledger.name: round(ledger.utilization(), 4)
+                       for ledger in observer.component_ledgers()}
+        stalls = observer.stall_breakdown()
+    if utilization is None:
+        utilization = utilization_from_stats(stats, cycles) or None
+    record = bench_record(workload_name, config=config, cycles=cycles,
+                          utilization=utilization, stalls=stalls,
+                          **(extra or {}))
+    record["stats"] = _json_safe_stats(stats)
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=1)
+        handle.write("\n")
+
+
+def _json_safe_stats(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe_stats(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe_stats(v) for k, v in value.items()}
+    return str(value)
+
+
+def _instrumented(args):
+    """Build (trace, observer) when any observability flag is set."""
+    from repro.obs import Observer
+    from repro.sim import Trace
+
+    wants = (getattr(args, "trace_out", None)
+             or getattr(args, "stats_json", None)
+             or getattr(args, "profile", False))
+    if not wants:
+        return None, None
+    return Trace(enabled=True), Observer()
+
+
 def cmd_run(args) -> int:
     from repro.workloads import REGISTRY
 
     workload = REGISTRY.get(args.workload)
     config = workload.default_config(
         ntiles=args.tiles if args.tiles else None)
-    result = workload.run(config=config, scale=args.scale)
+
+    if args.check_repro:
+        # zero-cost-when-disabled invariant, checked at the CLI level:
+        # the same workload with full instrumentation on and off must
+        # report identical cycle counts (the simulator has no hidden
+        # seed, so any divergence is an instrumentation perturbation).
+        from repro.obs import Observer
+        from repro.sim import Trace
+
+        plain = workload.run(config=config, scale=args.scale)
+        instrumented = workload.run(
+            config=workload.default_config(
+                ntiles=args.tiles if args.tiles else None),
+            scale=args.scale, trace=Trace(enabled=True), observer=Observer())
+        if plain.cycles != instrumented.cycles:
+            print(f"error: {workload.name}: instrumentation changed the "
+                  f"cycle count ({plain.cycles} plain vs "
+                  f"{instrumented.cycles} instrumented)", file=sys.stderr)
+            return 1
+        print(f"{workload.name}: reproducible, {plain.cycles} cycles with "
+              f"observability off and on")
+
+    trace, observer = _instrumented(args)
+    result = workload.run(config=config, scale=args.scale, trace=trace,
+                          observer=observer)
     status = "OK" if result.correct else "WRONG RESULT"
     print(f"{workload.name}: {status}, {result.cycles} cycles for "
           f"{result.work_items} work items "
           f"({result.cycles_per_item:.1f} cycles/item)")
+    if args.profile and observer is not None:
+        from repro.reports import render_profile_report
+
+        print()
+        print(render_profile_report(workload.name, result.cycles, observer,
+                                    trace=trace, stats=result.stats))
+    if args.trace_out:
+        from repro.obs import export_chrome_trace
+
+        export_chrome_trace(args.trace_out, observer=observer, trace=trace)
+        print(f"trace written to {args.trace_out}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, workload.name, config,
+                          result.cycles, result.stats, observer=observer,
+                          extra={"work_items": result.work_items,
+                                 "correct": result.correct})
+        print(f"stats written to {args.stats_json}")
     if not result.correct:
         return 1
+    return 0
+
+
+def _default_profile_args(function, memory, size: int):
+    """Synthesise deterministic entry arguments for ``repro profile``.
+
+    Pointer parameters get ``size``-element arrays (integer arrays are
+    filled with ``size`` so length-through-memory idioms stay in bounds,
+    float arrays with a small ramp); integer scalars get ``size``; float
+    scalars get 2.0.
+    """
+    from repro.ir.types import FloatType, PointerType
+
+    args = []
+    for arg in function.arguments:
+        type_ = arg.type
+        if isinstance(type_, PointerType):
+            if isinstance(type_.pointee, FloatType):
+                values = [0.5 * i for i in range(size)]
+            else:
+                values = [size] * size
+            args.append(memory.alloc_array(type_.pointee, values))
+        elif isinstance(type_, FloatType):
+            args.append(2.0)
+        else:
+            args.append(size)
+    return args
+
+
+def cmd_profile(args) -> int:
+    from repro.obs import Observer, export_chrome_trace
+    from repro.reports import render_profile_report
+    from repro.sim import Trace
+
+    module = _load_module(args.source)
+    function = (module.function(args.entry) if args.entry
+                else (module.functions[0] if module.functions else None))
+    if function is None:
+        print(f"error: no entry function"
+              + (f" named {args.entry!r}" if args.entry else "")
+              + f" in {args.source}", file=sys.stderr)
+        return 1
+
+    config = AcceleratorConfig(default_ntiles=args.tiles)
+    trace = Trace(enabled=True)
+    observer = Observer()
+    accel = build_accelerator(module, config, trace=trace, observer=observer)
+    entry_args = _default_profile_args(function, accel.memory, args.size)
+    result = accel.run(function.name, entry_args)
+
+    print(render_profile_report(f"{module.name}:{function.name}",
+                                result.cycles, observer, trace=trace,
+                                stats=result.stats))
+    if result.retval is not None:
+        print(f"\nreturn value: {result.retval}")
+    if args.trace_out:
+        export_chrome_trace(args.trace_out, observer=observer, trace=trace)
+        print(f"trace written to {args.trace_out}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, f"{module.name}:{function.name}",
+                          config, result.cycles, result.stats,
+                          observer=observer)
+        print(f"stats written to {args.stats_json}")
     return 0
 
 
@@ -166,7 +320,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--tiles", type=int, default=0)
     p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--profile", action="store_true",
+                   help="print the cycle-accounting profile report")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Perfetto/chrome://tracing JSON trace")
+    p.add_argument("--stats-json", metavar="FILE",
+                   help="write cycles/utilization/stall stats as JSON")
+    p.add_argument("--check-repro", action="store_true",
+                   help="run twice (observability off and on) and fail if "
+                        "cycle counts diverge")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("profile",
+                       help="run a source file under the cycle profiler")
+    p.add_argument("source")
+    p.add_argument("--entry", help="entry function (default: first function)")
+    p.add_argument("--tiles", type=int, default=1)
+    p.add_argument("--size", type=int, default=12,
+                   help="synthesized input size / scalar value (default 12)")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Perfetto/chrome://tracing JSON trace")
+    p.add_argument("--stats-json", metavar="FILE",
+                   help="write cycles/utilization/stall stats as JSON")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("workloads", help="list the benchmark suite")
     p.set_defaults(func=cmd_workloads)

@@ -62,10 +62,17 @@ class SimulationError(TapasError):
 
 
 class DeadlockError(SimulationError):
-    """No component made progress for an entire settling window."""
+    """No component made progress for an entire settling window.
 
-    def __init__(self, cycle, detail=""):
+    ``postmortem`` (when the engine can produce one) is a dict with the
+    per-component stall attribution (``components``/``stalled``: name,
+    state, reason) and every channel holding stuck data (``channels``) —
+    see :func:`repro.obs.stall_snapshot`.
+    """
+
+    def __init__(self, cycle, detail="", postmortem=None):
         self.cycle = cycle
+        self.postmortem = postmortem
         message = f"simulation deadlocked at cycle {cycle}"
         if detail:
             message += f": {detail}"

@@ -12,7 +12,7 @@ from collections import deque
 from typing import Deque, List, Tuple
 
 from repro.errors import SimulationError
-from repro.sim import Channel, Component
+from repro.sim import OBS_BUSY, OBS_IDLE, OBS_STALL_OUT, Channel, Component
 
 
 def tree_levels(fan_in: int) -> int:
@@ -64,6 +64,14 @@ class RoundRobinArbiter(Component):
     def is_busy(self):
         return bool(self._pipe)
 
+    def obs_classify(self, cycle):
+        if (self._pipe and self._pipe[0][0] <= cycle
+                and not self.output.can_push()):
+            return OBS_STALL_OUT, "output-backpressure"
+        if self._pipe or any(ch.can_pop() for ch in self.inputs):
+            return OBS_BUSY, None
+        return OBS_IDLE, None
+
     def stats(self):
         return {"grants": self.grants}
 
@@ -106,6 +114,16 @@ class Demux(Component):
 
     def is_busy(self):
         return bool(self._pipe)
+
+    def obs_classify(self, cycle):
+        if self._pipe and self._pipe[0][0] <= cycle:
+            port = self.route(self._pipe[0][1])
+            if 0 <= port < len(self.outputs) and \
+                    not self.outputs[port].can_push():
+                return OBS_STALL_OUT, "output-backpressure"
+        if self._pipe or self.input.can_pop():
+            return OBS_BUSY, None
+        return OBS_IDLE, None
 
     def stats(self):
         return {"routed": self.routed}

@@ -18,7 +18,14 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.errors import ConfigError
 from repro.memory.backing import MainMemory
 from repro.memory.messages import MemRequest, MemResponse
-from repro.sim import Channel, Component
+from repro.sim import (
+    OBS_BUSY,
+    OBS_IDLE,
+    OBS_STALL_IN,
+    OBS_STALL_OUT,
+    Channel,
+    Component,
+)
 
 
 @dataclass
@@ -103,6 +110,8 @@ class Cache(Component):
         self._mshrs: Dict[int, _MSHR] = {}
         self._ready_responses: Deque[Tuple[int, MemResponse]] = deque()
         self._pending_writebacks: Deque[object] = deque()
+        #: why the request port stalled this cycle (obs_classify only)
+        self._blocked: Optional[str] = None
 
         self.hits = 0
         self.misses = 0
@@ -139,6 +148,7 @@ class Cache(Component):
     # -- the clocked behaviour ---------------------------------------------
 
     def tick(self, cycle: int):
+        self._blocked = None
         self._drain_writebacks()
         self._handle_fill(cycle)
         self._accept_request(cycle)
@@ -229,8 +239,10 @@ class Cache(Component):
             self.misses += 1
             return
         if len(self._mshrs) >= self.params.mshr_count:
+            self._blocked = "mshr-full"
             return  # structural stall: leave the request queued
         if not self.dram_request.can_push():
+            self._blocked = "dram-backpressure"
             return
         self.request_in.pop()
         data = self._functional(req)
@@ -249,6 +261,19 @@ class Cache(Component):
     def is_busy(self):
         return bool(self._ready_responses or self._mshrs
                     or self._pending_writebacks)
+
+    def obs_classify(self, cycle):
+        if self._blocked == "mshr-full":
+            return OBS_STALL_IN, "mshr-full"
+        if self._blocked == "dram-backpressure":
+            return OBS_STALL_OUT, "dram-backpressure"
+        if (self._ready_responses and self._ready_responses[0][0] <= cycle
+                and not self.response_out.can_push()):
+            return OBS_STALL_OUT, "resp-backpressure"
+        if (self._mshrs or self._ready_responses or self._pending_writebacks
+                or self.request_in.can_pop()):
+            return OBS_BUSY, None
+        return OBS_IDLE, None
 
     def stats(self):
         total = self.hits + self.misses

@@ -17,7 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.sim import Channel, Component, Simulator
+from repro.sim import (
+    OBS_BUSY,
+    OBS_IDLE,
+    OBS_STALL_IN,
+    OBS_STALL_OUT,
+    Channel,
+    Component,
+    Simulator,
+)
 
 
 @dataclass(frozen=True)
@@ -93,6 +101,20 @@ class DataBox(Component):
 
     def is_busy(self):
         return self._outstanding > 0
+
+    def obs_classify(self, cycle):
+        pending = any(ch.can_pop() for ch in self.tile_request)
+        if pending and self._outstanding >= self.entries:
+            # allocator table full: input blocked until responses drain
+            return OBS_STALL_IN, "allocator-full"
+        if pending and not self.to_cache.can_push():
+            return OBS_STALL_OUT, "cache-backpressure"
+        if self.from_cache.can_pop() and not \
+                self.tile_response[self.from_cache.peek().tag.tile].can_push():
+            return OBS_STALL_OUT, "tile-backpressure"
+        if self._outstanding or pending:
+            return OBS_BUSY, None
+        return OBS_IDLE, None
 
     def stats(self):
         return {

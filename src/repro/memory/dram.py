@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Tuple
 
-from repro.sim import Channel, Component
+from repro.sim import OBS_BUSY, OBS_IDLE, OBS_STALL_OUT, Channel, Component
 
 #: 270 ns at 150 MHz (Table V experimental setup)
 DEFAULT_DRAM_LATENCY = 40
@@ -57,6 +57,14 @@ class DRAMModel(Component):
 
     def is_busy(self):
         return bool(self._in_flight)
+
+    def obs_classify(self, cycle):
+        if (self._in_flight and self._in_flight[0][0] <= cycle
+                and not self.response_out.can_push()):
+            return OBS_STALL_OUT, "resp-backpressure"
+        if self._in_flight:
+            return OBS_BUSY, None
+        return OBS_IDLE, None
 
     def stats(self):
         return {"accesses": self.accesses}

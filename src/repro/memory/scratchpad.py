@@ -9,7 +9,7 @@ from typing import Deque, Tuple
 
 from repro.memory.backing import MainMemory
 from repro.memory.messages import MemRequest, MemResponse
-from repro.sim import Channel, Component
+from repro.sim import OBS_BUSY, OBS_IDLE, OBS_STALL_OUT, Channel, Component
 
 
 class Scratchpad(Component):
@@ -44,6 +44,14 @@ class Scratchpad(Component):
 
     def is_busy(self):
         return bool(self._pipe)
+
+    def obs_classify(self, cycle):
+        if (self._pipe and self._pipe[0][0] <= cycle
+                and not self.response_out.can_push()):
+            return OBS_STALL_OUT, "resp-backpressure"
+        if self._pipe or self.request_in.can_pop():
+            return OBS_BUSY, None
+        return OBS_IDLE, None
 
     def stats(self):
         return {"accesses": self.accesses}

@@ -1,0 +1,27 @@
+"""Observability: cycle accounting, channel probes, trace export.
+
+The profiling layer over the cycle simulator — attach an
+:class:`Observer` to account every cycle of every component to
+busy / stalled-on-input / stalled-on-output / idle, probe channel
+occupancy, and export Chrome-trace/Perfetto JSON plus text profile
+reports. Fully passive: with no observer attached the simulator's
+behaviour and cycle counts are untouched.
+"""
+
+from repro.obs.accounting import ChannelProbe, CycleLedger
+from repro.obs.observer import (
+    Observer,
+    render_stall_snapshot,
+    stall_snapshot,
+)
+from repro.obs.perfetto import (
+    chrome_trace,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "ChannelProbe", "CycleLedger", "Observer",
+    "render_stall_snapshot", "stall_snapshot",
+    "chrome_trace", "export_chrome_trace", "validate_chrome_trace",
+]

@@ -1,0 +1,163 @@
+"""Cycle accounting: where did every cycle of every component go?
+
+The paper's evaluation (Fig 13-17, Table III) is a story about cycle
+attribution — spawn-rate limits, tile occupancy, memory backpressure.
+This module holds the passive bookkeeping: a :class:`CycleLedger` per
+component (and per TXU tile) that classifies each simulated cycle as
+busy / stalled-on-input / stalled-on-output / idle, and a
+:class:`ChannelProbe` per channel recording occupancy histograms,
+backpressure cycles and peak depth.
+
+Everything here is written to, never read from, the simulation — the
+observer samples component state *after* each tick, so attaching the
+instrumentation cannot change cycle counts (enforced by test).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.component import (
+    OBS_BUSY,
+    OBS_IDLE,
+    OBS_STALL_IN,
+    OBS_STALL_OUT,
+    OBS_STATES,
+)
+from repro.sim.stats import StatCounters, utilization
+
+#: ledger key prefix under which stall reasons are counted
+REASON_PREFIX = "reason:"
+
+
+class CycleLedger:
+    """Per-component cycle attribution.
+
+    Counts are kept in a :class:`~repro.sim.stats.StatCounters` (one key
+    per state, plus ``reason:<tag>`` keys for stall attribution) and,
+    optionally, as a run-length-encoded state timeline for trace export.
+    The invariant ``busy + stall_in + stall_out + idle == cycles`` holds
+    by construction: :meth:`record` is called exactly once per observed
+    cycle.
+    """
+
+    def __init__(self, name: str, group: Optional[str] = None,
+                 keep_timeline: bool = True):
+        self.name = name
+        #: track grouping for trace export (a tile's group is its unit)
+        self.group = group or name
+        self.counters = StatCounters()
+        self.cycles = 0
+        self.keep_timeline = keep_timeline
+        #: RLE state runs: [start, end_exclusive, state, reason]
+        self.timeline: List[list] = []
+
+    def record(self, cycle: int, state: str, reason: Optional[str] = None):
+        if state not in OBS_STATES:
+            raise ValueError(f"ledger {self.name}: unknown state {state!r}")
+        self.cycles += 1
+        self.counters.bump(state)
+        if reason is not None:
+            self.counters.bump(REASON_PREFIX + reason)
+        if self.keep_timeline:
+            runs = self.timeline
+            if runs and runs[-1][1] == cycle and runs[-1][2] == state \
+                    and runs[-1][3] == reason:
+                runs[-1][1] = cycle + 1
+            else:
+                runs.append([cycle, cycle + 1, state, reason])
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def busy(self) -> int:
+        return self.counters.get(OBS_BUSY)
+
+    @property
+    def stalled(self) -> int:
+        return self.counters.get(OBS_STALL_IN) + self.counters.get(OBS_STALL_OUT)
+
+    @property
+    def idle(self) -> int:
+        return self.counters.get(OBS_IDLE)
+
+    def utilization(self) -> float:
+        return utilization(self.busy, self.cycles)
+
+    def breakdown(self) -> Dict[str, int]:
+        """State -> cycles; always sums to :attr:`cycles`."""
+        return {state: self.counters.get(state) for state in OBS_STATES}
+
+    def stall_reasons(self) -> Dict[str, int]:
+        """Stall tag -> cycles attributed to it."""
+        return {key[len(REASON_PREFIX):]: count
+                for key, count in self.counters.as_dict().items()
+                if key.startswith(REASON_PREFIX)}
+
+    def as_dict(self) -> dict:
+        out = {"cycles": self.cycles, "utilization": self.utilization()}
+        out.update(self.breakdown())
+        reasons = self.stall_reasons()
+        if reasons:
+            out["stall_reasons"] = reasons
+        return out
+
+    def __repr__(self):
+        return (f"<CycleLedger {self.name} {self.cycles} cycles "
+                f"{100 * self.utilization():.1f}% busy>")
+
+
+class ChannelProbe:
+    """Per-channel occupancy instrumentation.
+
+    Sampled once per cycle after the channel commits: a depth histogram,
+    the number of cycles the channel sat full (producer-visible
+    backpressure), the peak depth, and a change-compressed occupancy
+    timeline for the trace exporter's counter tracks.
+    """
+
+    def __init__(self, channel):
+        self.channel = channel
+        self.histogram: Counter = Counter()
+        self.backpressure_cycles = 0
+        self.peak_depth = 0
+        self.samples = 0
+        #: (cycle, occupancy) recorded only on change — bounded by traffic
+        self.occupancy_timeline: List[Tuple[int, int]] = []
+
+    @property
+    def name(self) -> str:
+        return self.channel.name
+
+    def record(self, cycle: int):
+        occ = self.channel.occupancy
+        self.samples += 1
+        self.histogram[occ] += 1
+        if occ > self.peak_depth:
+            self.peak_depth = occ
+        if occ >= self.channel.capacity:
+            self.backpressure_cycles += 1
+        tl = self.occupancy_timeline
+        if not tl or tl[-1][1] != occ:
+            tl.append((cycle, occ))
+
+    def mean_occupancy(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(d * n for d, n in self.histogram.items()) / self.samples
+
+    def as_dict(self) -> dict:
+        return {
+            "pushed": self.channel.total_pushed,
+            "popped": self.channel.total_popped,
+            "capacity": self.channel.capacity,
+            "peak_depth": self.peak_depth,
+            "backpressure_cycles": self.backpressure_cycles,
+            "mean_occupancy": round(self.mean_occupancy(), 4),
+            "histogram": {str(k): v for k, v in sorted(self.histogram.items())},
+        }
+
+    def __repr__(self):
+        return (f"<ChannelProbe {self.name} peak={self.peak_depth} "
+                f"bp={self.backpressure_cycles}>")

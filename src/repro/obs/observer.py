@@ -1,0 +1,159 @@
+"""The observer: samples the whole simulator once per cycle.
+
+Attach with :meth:`repro.sim.engine.Simulator.attach_observer` (or pass
+``observer=`` to :func:`repro.accel.build_accelerator`). When no observer
+is attached the engine's hot loop contains a single ``is None`` test, and
+component classification code never runs — observability off is free, and
+cycle counts are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.accounting import ChannelProbe, CycleLedger
+from repro.sim.component import OBS_IDLE, OBS_STALL_IN, OBS_STALL_OUT
+
+
+class Observer:
+    """Per-cycle sampler building ledgers and channel probes.
+
+    Ledgers and probes are created lazily at sample time, so components
+    and channels registered after attachment (or mid-run) are picked up
+    automatically.
+    """
+
+    def __init__(self, keep_timeline: bool = True):
+        self.keep_timeline = keep_timeline
+        self.ledgers: Dict[str, CycleLedger] = {}
+        self.probes: Dict[str, ChannelProbe] = {}
+        self.cycles_observed = 0
+        self.first_cycle: Optional[int] = None
+        self.last_cycle: Optional[int] = None
+
+    # -- engine interface --------------------------------------------------
+
+    def on_cycle(self, sim, cycle: int):
+        """Called by the engine at the end of every tick."""
+        self.cycles_observed += 1
+        if self.first_cycle is None:
+            self.first_cycle = cycle
+        self.last_cycle = cycle
+        ledgers = self.ledgers
+        for component in sim.components:
+            state, reason = component.obs_classify(cycle)
+            ledger = ledgers.get(component.name)
+            if ledger is None:
+                ledger = ledgers[component.name] = CycleLedger(
+                    component.name, keep_timeline=self.keep_timeline)
+            ledger.record(cycle, state, reason)
+            for child_name, child_state, child_reason in \
+                    component.obs_children(cycle):
+                child = ledgers.get(child_name)
+                if child is None:
+                    child = ledgers[child_name] = CycleLedger(
+                        child_name, group=component.name,
+                        keep_timeline=self.keep_timeline)
+                child.record(cycle, child_state, child_reason)
+        probes = self.probes
+        for channel in sim.channels:
+            probe = probes.get(channel.name)
+            if probe is None:
+                probe = probes[channel.name] = ChannelProbe(channel)
+            probe.record(cycle)
+
+    # -- derived views -----------------------------------------------------
+
+    def component_ledgers(self) -> List[CycleLedger]:
+        """Top-level ledgers only (a unit, not its tiles)."""
+        return [l for l in self.ledgers.values() if l.group == l.name]
+
+    def tile_ledgers(self, group: str) -> List[CycleLedger]:
+        return [l for l in self.ledgers.values()
+                if l.group == group and l.name != group]
+
+    def stall_sources(self) -> List[Tuple[str, str, int]]:
+        """(component, reason, cycles) sorted by descending cycle cost."""
+        out = []
+        for ledger in self.ledgers.values():
+            for reason, cycles in ledger.stall_reasons().items():
+                out.append((ledger.name, reason, cycles))
+        out.sort(key=lambda row: (-row[2], row[0], row[1]))
+        return out
+
+    def stall_breakdown(self) -> Dict[str, int]:
+        """Aggregate stall-reason -> cycles across all components."""
+        total: Counter = Counter()
+        for ledger in self.ledgers.values():
+            for reason, cycles in ledger.stall_reasons().items():
+                total[reason] += cycles
+        return dict(total)
+
+    def busiest_channels(self, limit: int = 10) -> List[ChannelProbe]:
+        probes = [p for p in self.probes.values()
+                  if p.channel.total_pushed or p.backpressure_cycles]
+        probes.sort(key=lambda p: (-p.backpressure_cycles,
+                                   -p.channel.total_pushed, p.name))
+        return probes[:limit]
+
+    def as_dict(self) -> dict:
+        return {
+            "cycles_observed": self.cycles_observed,
+            "components": {name: ledger.as_dict()
+                           for name, ledger in sorted(self.ledgers.items())},
+            "channels": {name: probe.as_dict()
+                         for name, probe in sorted(self.probes.items())
+                         if probe.channel.total_pushed},
+            "stall_breakdown": self.stall_breakdown(),
+        }
+
+
+def stall_snapshot(sim) -> dict:
+    """One-shot classification of the current simulator state.
+
+    Used for deadlock post-mortems: works without an attached observer
+    because :meth:`obs_classify` is pure poll-time logic. Returns the
+    per-component state/reason attribution plus every channel holding
+    stuck data.
+    """
+    components = []
+    for component in sim.components:
+        state, reason = component.obs_classify(sim.cycle)
+        components.append({"name": component.name, "state": state,
+                           "reason": reason})
+        for child_name, child_state, child_reason in \
+                component.obs_children(sim.cycle):
+            components.append({"name": child_name, "state": child_state,
+                               "reason": child_reason})
+    channels = [{"name": ch.name, "occupancy": ch.occupancy,
+                 "capacity": ch.capacity, "pushed": ch.total_pushed,
+                 "popped": ch.total_popped}
+                for ch in sim.channels if len(ch)]
+    stalled = [c for c in components
+               if c["state"] in (OBS_STALL_IN, OBS_STALL_OUT)]
+    return {"cycle": sim.cycle, "components": components,
+            "stalled": stalled, "channels": channels}
+
+
+def render_stall_snapshot(snapshot: dict) -> str:
+    """Human-readable post-mortem used in DeadlockError messages."""
+    parts = []
+    stalled = snapshot["stalled"]
+    if stalled:
+        parts.append("stalled components: " + ", ".join(
+            f"{c['name']}[{c['state']}"
+            + (f":{c['reason']}" if c["reason"] else "") + "]"
+            for c in stalled))
+    waiting = [c for c in snapshot["components"]
+               if c["state"] not in (OBS_IDLE,) and c not in stalled]
+    busy = [c["name"] for c in waiting if c["state"] == "busy"]
+    if busy:
+        parts.append("busy components: " + ", ".join(busy))
+    if snapshot["channels"]:
+        parts.append("channels with stuck data: " + ", ".join(
+            f"{ch['name']}({ch['occupancy']}/{ch['capacity']})"
+            for ch in snapshot["channels"]))
+    else:
+        parts.append("channels with stuck data: none")
+    return "; ".join(parts)

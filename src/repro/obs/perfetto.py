@@ -1,0 +1,162 @@
+"""Chrome trace-event / Perfetto export.
+
+Serialises an :class:`~repro.obs.observer.Observer` (state timelines,
+channel occupancy) and an optional :class:`~repro.sim.trace.Trace`
+(spawn/sync/memory events) into the Trace Event Format JSON that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly.
+
+Mapping:
+
+* each top-level component becomes a *process* (pid), with its state
+  timeline on thread 0 and one further thread per TXU tile — the
+  per-tile tracks of the Fig 5 execution view;
+* busy/stall state runs are complete events (``ph: "X"``) whose duration
+  is the run length in cycles (1 cycle == 1 us of trace time);
+* trace events are instants (``ph: "i"``) on the track of their source
+  component;
+* channel occupancy timelines are counter tracks (``ph: "C"``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+from repro.sim.component import OBS_IDLE
+
+#: synthetic pid for channel counter tracks
+_CHANNELS_PID = 1_000_000
+#: synthetic pid for trace events whose source has no component track
+_EVENTS_PID = 1_000_001
+
+
+def _json_safe(value):
+    """Payloads may carry IR objects; stringify anything non-primitive."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def chrome_trace(observer=None, trace=None,
+                 include_idle: bool = False) -> dict:
+    """Build the trace-event document as a Python dict."""
+    events: List[dict] = []
+    meta: List[dict] = []
+    track: dict = {}  # source name -> (pid, tid)
+
+    if observer is not None:
+        groups = []
+        for ledger in observer.ledgers.values():
+            if ledger.group not in groups:
+                groups.append(ledger.group)
+        for pid, group in enumerate(groups):
+            meta.append({"ph": "M", "name": "process_name", "pid": pid,
+                         "tid": 0, "args": {"name": group}})
+            members = [l for l in observer.ledgers.values()
+                       if l.group == group]
+            # the component itself first, then its tiles in name order
+            members.sort(key=lambda l: (l.name != group, l.name))
+            for tid, ledger in enumerate(members):
+                track[ledger.name] = (pid, tid)
+                meta.append({"ph": "M", "name": "thread_name", "pid": pid,
+                             "tid": tid, "args": {"name": ledger.name}})
+                for start, end, state, reason in ledger.timeline:
+                    if state == OBS_IDLE and not include_idle:
+                        continue
+                    name = state if reason is None else f"{state}:{reason}"
+                    events.append({
+                        "ph": "X", "cat": "state", "name": name,
+                        "ts": start, "dur": end - start,
+                        "pid": pid, "tid": tid,
+                        "args": {"state": state, "reason": reason},
+                    })
+        meta.append({"ph": "M", "name": "process_name",
+                     "pid": _CHANNELS_PID, "tid": 0,
+                     "args": {"name": "channels"}})
+        for probe in observer.probes.values():
+            if not probe.channel.total_pushed:
+                continue
+            for cycle, occupancy in probe.occupancy_timeline:
+                events.append({
+                    "ph": "C", "cat": "channel",
+                    "name": f"occ:{probe.name}", "ts": cycle,
+                    "pid": _CHANNELS_PID,
+                    "args": {"occupancy": occupancy},
+                })
+
+    if trace is not None and len(trace):
+        used_events_pid = False
+        for event in trace.events:
+            pid, tid = track.get(event.source, (_EVENTS_PID, 0))
+            used_events_pid = used_events_pid or pid == _EVENTS_PID
+            args = {"detail": event.detail, "seq": event.seq}
+            if event.payload:
+                args.update(_json_safe(event.payload))
+            events.append({
+                "ph": "i", "s": "t", "cat": "event", "name": event.kind,
+                "ts": event.cycle, "pid": pid, "tid": tid, "args": args,
+            })
+        if used_events_pid:
+            meta.append({"ph": "M", "name": "process_name",
+                         "pid": _EVENTS_PID, "tid": 0,
+                         "args": {"name": "events"}})
+
+    # Perfetto tolerates any order, but monotonic timestamps keep the
+    # export diffable and make well-formedness trivially checkable.
+    events.sort(key=lambda e: (e["ts"], e["pid"], e.get("tid", 0)))
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro-obs",
+            "time_unit": "1 trace us == 1 accelerator cycle",
+        },
+    }
+
+
+def export_chrome_trace(destination: Union[str, IO],
+                        observer=None, trace=None,
+                        include_idle: bool = False) -> dict:
+    """Write the trace-event JSON to a path or file object."""
+    document = chrome_trace(observer=observer, trace=trace,
+                            include_idle=include_idle)
+    if hasattr(destination, "write"):
+        json.dump(document, destination, indent=1)
+    else:
+        with open(destination, "w") as handle:
+            json.dump(document, handle, indent=1)
+    return document
+
+
+def validate_chrome_trace(document: dict) -> List[str]:
+    """Sanity-check an exported document; returns a list of problems.
+
+    Used by the CI smoke job and the test suite: every event needs a
+    phase and a non-negative timestamp (metadata aside), and timestamps
+    must be monotonically non-decreasing in file order.
+    """
+    problems = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    last_ts = None
+    for i, event in enumerate(events):
+        if "ph" not in event:
+            problems.append(f"event {i}: missing ph")
+            continue
+        if event["ph"] == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"event {i}: ts {ts} < previous {last_ts}")
+        last_ts = ts
+        if event["ph"] == "X" and event.get("dur", 0) < 0:
+            problems.append(f"event {i}: negative dur")
+    return problems

@@ -1,0 +1,101 @@
+"""Machine-readable benchmark results.
+
+Every ``benchmarks/bench_*.py`` writes, next to its ``results/*.txt``
+table, a ``results/*.json`` document so the performance trajectory can
+be tracked across PRs. The schema is one document per bench::
+
+    {"bench": str, "schema": 1,
+     "records": [{"workload": str, "config": {...}, "cycles": int|null,
+                  "utilization": {...}|null, "stalls": {...}|null,
+                  "metrics": {...}}]}
+
+``bench_record`` builds one record; non-simulation benches (resource
+tables) set ``cycles`` to None and carry their numbers in ``metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+BENCH_SCHEMA_VERSION = 1
+
+#: keys every record must carry (value may be None)
+RECORD_KEYS = ("workload", "config", "cycles", "utilization", "stalls",
+               "metrics")
+
+
+def config_summary(config) -> Dict[str, Any]:
+    """JSON-safe summary of an AcceleratorConfig."""
+    out = {
+        "board": config.board.name,
+        "default_ntiles": config.default_ntiles,
+        "memory_model": config.memory_model,
+        "dram_latency": config.effective_dram_latency(),
+        "analysis_level": config.analysis_level,
+        "cache": {
+            "size_bytes": config.cache.size_bytes,
+            "line_bytes": config.cache.line_bytes,
+            "associativity": config.cache.associativity,
+            "mshr_count": config.cache.mshr_count,
+            "banks": config.cache.banks,
+        },
+    }
+    if config.unit_params:
+        out["unit_params"] = {
+            name: {"ntiles": p.ntiles, "queue_depth": p.queue_depth,
+                   "max_inflight_per_tile": p.max_inflight_per_tile,
+                   "policy": p.policy}
+            for name, p in config.unit_params.items()
+        }
+    return out
+
+
+def utilization_from_stats(stats: Dict[str, Any],
+                           cycles: int) -> Dict[str, float]:
+    """Per-unit tile utilization out of a RunResult stats dict."""
+    out = {}
+    for name, unit in stats.get("units", {}).items():
+        tiles = unit.get("tiles", [])
+        if tiles and cycles:
+            busy = sum(t.get("busy_cycles", 0) for t in tiles)
+            out[name] = round(busy / (len(tiles) * cycles), 4)
+    return out
+
+
+def bench_record(workload: str, config: Any = None,
+                 cycles: Optional[int] = None,
+                 utilization: Optional[dict] = None,
+                 stalls: Optional[dict] = None,
+                 stats: Optional[dict] = None,
+                 **metrics) -> Dict[str, Any]:
+    """One benchmark data point in the BENCH_*.json schema."""
+    if not isinstance(config, (dict, type(None))):
+        config = config_summary(config)
+    if utilization is None and stats is not None and cycles:
+        utilization = utilization_from_stats(stats, cycles) or None
+    return {
+        "workload": workload,
+        "config": config,
+        "cycles": cycles,
+        "utilization": utilization,
+        "stalls": stalls,
+        "metrics": metrics,
+    }
+
+
+def bench_document(bench: str, records: List[dict]) -> Dict[str, Any]:
+    for record in records:
+        missing = [k for k in RECORD_KEYS if k not in record]
+        if missing:
+            raise ValueError(f"bench {bench}: record missing {missing}")
+    return {"bench": bench, "schema": BENCH_SCHEMA_VERSION,
+            "records": records}
+
+
+def write_bench_json(path: str, bench: str, records: List[dict]) -> dict:
+    document = bench_document(bench, records)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+    return document

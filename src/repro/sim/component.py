@@ -2,6 +2,17 @@
 
 from __future__ import annotations
 
+#: cycle-accounting states — every simulated cycle of every component is
+#: attributed to exactly one of these (the Table III utilization model):
+#: doing useful work, waiting for upstream data, blocked by downstream
+#: backpressure, or idle with nothing to do.
+OBS_BUSY = "busy"
+OBS_STALL_IN = "stall_in"
+OBS_STALL_OUT = "stall_out"
+OBS_IDLE = "idle"
+
+OBS_STATES = (OBS_BUSY, OBS_STALL_IN, OBS_STALL_OUT, OBS_IDLE)
+
 
 class Component:
     """A clocked block. Once per cycle the engine calls :meth:`tick`;
@@ -25,6 +36,28 @@ class Component:
     def stats(self) -> dict:
         """Per-component statistics merged into the simulation report."""
         return {}
+
+    # -- observability -----------------------------------------------------
+
+    def obs_classify(self, cycle: int):
+        """Attribute the cycle that just executed to one accounting state.
+
+        Returns ``(state, reason)`` where ``state`` is one of
+        :data:`OBS_STATES` and ``reason`` is an optional short stall tag
+        (e.g. ``"memory"``, ``"mshr-full"``). Called only when an
+        observer is attached (or for a deadlock post-mortem), strictly
+        after :meth:`tick` — implementations must read state, never
+        mutate it, so instrumentation cannot perturb timing.
+        """
+        return (OBS_BUSY, None) if self.is_busy() else (OBS_IDLE, None)
+
+    def obs_children(self, cycle: int):
+        """Per-subunit attribution for components that own inner tiles.
+
+        Yields ``(name, state, reason)`` triples; the observer keeps a
+        separate ledger (and trace track) per subunit name.
+        """
+        return ()
 
     def __repr__(self):
         return f"<{type(self).__name__} {self.name}>"

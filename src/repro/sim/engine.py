@@ -29,6 +29,9 @@ class Simulator:
         self._idle_cycles = 0
         self._quiet_cycles = 0  # no channel movement, busy or not
         self._activity_flag = False
+        #: optional per-cycle sampler (repro.obs.Observer); None keeps the
+        #: hot loop at a single pointer test per cycle
+        self.observer = None
 
     # -- construction -----------------------------------------------------
 
@@ -42,6 +45,11 @@ class Simulator:
         self.channels.append(channel)
         return channel
 
+    def attach_observer(self, observer):
+        """Install a per-cycle sampler (see :mod:`repro.obs`)."""
+        self.observer = observer
+        return observer
+
     # -- clock ---------------------------------------------------------------
 
     def note_activity(self):
@@ -53,8 +61,9 @@ class Simulator:
     def tick(self):
         """Advance one cycle: all components observe start-of-cycle channel
         state, then every channel commits its handshake."""
+        executed = self.cycle
         for component in self.components:
-            component.tick(self.cycle)
+            component.tick(executed)
         moved = False
         for channel in self.channels:
             if channel.commit():
@@ -69,6 +78,8 @@ class Simulator:
             self._idle_cycles = 0
         else:
             self._idle_cycles += 1
+        if self.observer is not None:
+            self.observer.on_cycle(self, executed)
 
     def run(self, done: Callable[[], bool], max_cycles: int = 10_000_000) -> int:
         """Run until ``done()`` is true; returns the cycle count.
@@ -83,23 +94,43 @@ class Simulator:
                     f"simulation exceeded {max_cycles} cycles without finishing")
             self.tick()
             if self._idle_cycles > DEADLOCK_WINDOW:
-                raise DeadlockError(self.cycle, self._describe_stall())
+                postmortem = self.postmortem()
+                raise DeadlockError(self.cycle, self._describe_stall(),
+                                    postmortem=postmortem)
             if self._quiet_cycles > STALL_WINDOW:
+                postmortem = self.postmortem()
                 raise DeadlockError(
                     self.cycle,
                     "components busy but no channel movement (livelock — "
                     "likely a task-queue-full circular wait; increase "
-                    "queue_depth). " + self._describe_stall())
+                    "queue_depth). " + self._describe_stall(),
+                    postmortem=postmortem)
         return self.cycle - start
 
+    def postmortem(self) -> dict:
+        """Per-component stall attribution plus stuck-channel inventory —
+        the deadlock post-mortem attached to :class:`DeadlockError`."""
+        from repro.obs.observer import stall_snapshot
+
+        return stall_snapshot(self)
+
     def _describe_stall(self) -> str:
-        pending = [f"{ch.name}({len(ch)})" for ch in self.channels if len(ch)]
-        return "channels with stuck data: " + (", ".join(pending) or "none")
+        from repro.obs.observer import render_stall_snapshot
+
+        return render_stall_snapshot(self.postmortem())
 
     # -- reporting --------------------------------------------------------
 
     def stats(self) -> Dict[str, dict]:
-        return {c.name: c.stats() for c in self.components if c.stats()}
+        out = {c.name: c.stats() for c in self.components if c.stats()}
+        channels = {
+            ch.name: {"pushed": ch.total_pushed, "popped": ch.total_popped,
+                      "capacity": ch.capacity, "occupancy": ch.occupancy}
+            for ch in self.channels if ch.total_pushed or ch.total_popped
+        }
+        if channels:
+            out["channels"] = channels
+        return out
 
     def __repr__(self):
         return (f"<Simulator {self.name} cycle={self.cycle} "

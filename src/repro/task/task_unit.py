@@ -9,10 +9,17 @@ return values to waiting dataflow nodes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import SimulationError
-from repro.sim import Channel, Component
+from repro.sim import (
+    OBS_BUSY,
+    OBS_IDLE,
+    OBS_STALL_IN,
+    OBS_STALL_OUT,
+    Channel,
+    Component,
+)
 from repro.task.compiled import CompiledTask
 from repro.task.messages import JOIN_CALL, JOIN_SYNC, JoinMessage, SpawnMessage
 from repro.task.task_queue import (
@@ -249,6 +256,39 @@ class TaskUnit(Component):
         if self.queue.occupancy > 0:
             return True
         return any(t.instances for t in self.tiles)
+
+    def obs_classify(self, cycle):
+        tile_states = [tile.obs_classify(cycle) for tile in self.tiles]
+        if any(state == OBS_BUSY for state, _ in tile_states):
+            return OBS_BUSY, None
+        if self._spawn_outbuf and not self.spawn_out.can_push():
+            return OBS_STALL_OUT, "spawn-network"
+        if self._join_outbuf and not self.join_out.can_push():
+            return OBS_STALL_OUT, "join-network"
+        stalls = [(state, reason) for state, reason in tile_states
+                  if state in (OBS_STALL_IN, OBS_STALL_OUT)]
+        if stalls:
+            # the unit stalls for whatever most of its tiles stall for
+            counts: Dict[tuple, int] = {}
+            for pair in stalls:
+                counts[pair] = counts.get(pair, 0) + 1
+            return max(counts, key=counts.get)
+        if self.queue.has_ready():
+            if any(tile.has_capacity() for tile in self.tiles):
+                return OBS_BUSY, "dispatch"
+            return OBS_STALL_IN, "tiles-full"
+        if self._join_ready or self._spawn_outbuf or self._join_outbuf:
+            return OBS_BUSY, None
+        if self.queue.occupancy > 0:
+            # every live entry is suspended at a sync, waiting on children
+            # executing in other units
+            return OBS_STALL_IN, "sync-wait"
+        return OBS_IDLE, None
+
+    def obs_children(self, cycle):
+        for tile in self.tiles:
+            state, reason = tile.obs_classify(cycle)
+            yield f"{self.name}.tile{tile.tile_index}", state, reason
 
     def stats(self):
         tile_stats = [t.stats() for t in self.tiles]

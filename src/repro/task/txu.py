@@ -44,6 +44,7 @@ from repro.ir.opsem import (
 from repro.ir.values import Argument, Constant, GlobalVariable, Value
 from repro.memory.databox import MemTag
 from repro.memory.messages import MemRequest
+from repro.sim.component import OBS_BUSY, OBS_IDLE, OBS_STALL_IN, OBS_STALL_OUT
 from repro.task.compiled import CompiledTask
 from repro.task.task_queue import COMPLETE, EXE, SYNC, TaskEntry
 
@@ -127,6 +128,9 @@ class TXUTile:
         self._by_uid: Dict[int, Instance] = {}
         self._fired: Set[Tuple[Any, int]] = set()
         self._mem_issued_this_cycle = False
+        # per-cycle stall markers read by obs_classify (never by timing)
+        self._mem_blocked = False
+        self._spawn_blocked = False
         self.busy_cycles = 0
         self.completed_instances = 0
 
@@ -177,6 +181,8 @@ class TXUTile:
     def tick(self, cycle: int):
         self._fired.clear()
         self._mem_issued_this_cycle = False
+        self._mem_blocked = False
+        self._spawn_blocked = False
         self._pop_memory_response(cycle)
         if self.instances:
             self.busy_cycles += 1
@@ -347,7 +353,10 @@ class TXUTile:
         return True
 
     def _fire_memory(self, inst: Instance, node, cycle: int) -> bool:
-        if self._mem_issued_this_cycle or not self.request_out.can_push():
+        if self._mem_issued_this_cycle:
+            return False
+        if not self.request_out.can_push():
+            self._mem_blocked = True
             return False
         ir = node.inst
         addr_val = self._resolve(inst, ir.pointer)
@@ -379,6 +388,7 @@ class TXUTile:
         args = tuple(self._resolve(inst, v) for v in spec.arg_values)
         token = (self.tile_index, inst.uid, node.index)
         if not self.unit.issue_call(spec.dest_sid, args, inst.entry, token):
+            self._spawn_blocked = True
             return False
         inst.pending_call.add(node.index)
         return True
@@ -436,6 +446,7 @@ class TXUTile:
         ret_ptr = (int(self._resolve(inst, spec.ret_ptr_value))
                    if spec.ret_ptr_value is not None else None)
         if not self.unit.issue_spawn(spec.dest_sid, args, inst.entry, ret_ptr):
+            self._spawn_blocked = True
             return False
         inst.spawned += 1
         return True
@@ -472,7 +483,10 @@ class TXUTile:
 
     def _issue_epilogue_store(self, inst: Instance, cycle: int):
         """Write the return value through ret_ptr (shared-cache return)."""
-        if self._mem_issued_this_cycle or not self.request_out.can_push():
+        if self._mem_issued_this_cycle:
+            return
+        if not self.request_out.can_push():
+            self._mem_blocked = True
             return
         rettype = self.compiled.task.function.return_type
         tag = MemTag(self.unit.sid, self.tile_index, inst.uid, _EPILOGUE_NODE)
@@ -490,6 +504,33 @@ class TXUTile:
         inst.phase = EPILOGUE_WAIT
 
     # -- reporting --------------------------------------------------------
+
+    def obs_classify(self, cycle: int):
+        """Attribute the cycle just ticked (pure poll-time reads).
+
+        Priority: dataflow fired or a functional unit is mid-latency ->
+        busy; a spawn/call or memory issue hit backpressure this cycle ->
+        stalled-on-output; otherwise every live instance is parked
+        waiting on memory responses or child joins -> stalled-on-input.
+        """
+        if not self.instances:
+            return OBS_IDLE, None
+        if self._fired:
+            return OBS_BUSY, None
+        for inst in self.instances:
+            for done in inst.node_done.values():
+                if done > cycle:
+                    return OBS_BUSY, "execute"
+        if self._spawn_blocked:
+            return OBS_STALL_OUT, "spawn-backpressure"
+        if self._mem_blocked:
+            return OBS_STALL_OUT, "mem-backpressure"
+        if any(inst.pending_mem or inst.phase in (EPILOGUE_ISSUE, EPILOGUE_WAIT)
+               for inst in self.instances):
+            return OBS_STALL_IN, "memory"
+        if any(inst.pending_call for inst in self.instances):
+            return OBS_STALL_IN, "call-join"
+        return OBS_BUSY, None
 
     def stats(self) -> dict:
         return {

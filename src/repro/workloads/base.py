@@ -69,14 +69,16 @@ class Workload:
         raise NotImplementedError
 
     def build(self, config: Optional[AcceleratorConfig] = None,
-              trace=None) -> Accelerator:
+              trace=None, observer=None) -> Accelerator:
         return build_accelerator(self.fresh_module(),
-                                 config or self.default_config(), trace=trace)
+                                 config or self.default_config(), trace=trace,
+                                 observer=observer)
 
     def run(self, config: Optional[AcceleratorConfig] = None, scale: int = 1,
-            max_cycles: int = 50_000_000, trace=None) -> WorkloadResult:
+            max_cycles: int = 50_000_000, trace=None,
+            observer=None) -> WorkloadResult:
         """Build, offload, verify. The standard benchmark entry point."""
-        acc = self.build(config, trace=trace)
+        acc = self.build(config, trace=trace, observer=observer)
         prepared = self.prepare(acc.memory, scale)
         result = acc.run(prepared.function, prepared.args, max_cycles=max_cycles)
         correct = prepared.check(acc.memory, result.retval)

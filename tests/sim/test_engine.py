@@ -3,8 +3,13 @@
 import pytest
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim import Channel, Component, Simulator
-from repro.sim.engine import DEADLOCK_WINDOW
+from repro.sim import (
+    OBS_STALL_OUT,
+    Channel,
+    Component,
+    Simulator,
+)
+from repro.sim.engine import DEADLOCK_WINDOW, STALL_WINDOW
 
 
 class Producer(Component):
@@ -140,6 +145,78 @@ class TestSimulator:
         sim.add_component(Spinner("s"))
         with pytest.raises(SimulationError, match="exceeded"):
             sim.run(lambda: False, max_cycles=100)
+
+    def test_deadlock_postmortem_names_stuck_component_and_channel(self):
+        """DEADLOCK_WINDOW case: idle deadlock — a producer blocked on a
+        full channel nobody drains. The post-mortem must name the actual
+        stuck component (with its stall reason) and the stuck channel."""
+
+        class BlockedWriter(Component):
+            def __init__(self, name, out):
+                super().__init__(name)
+                self.out = out
+
+            def tick(self, cycle):
+                if self.out.can_push():
+                    self.out.push("x")
+
+            def obs_classify(self, cycle):
+                if not self.out.can_push():
+                    return OBS_STALL_OUT, "sink-full"
+                return "busy", None
+
+        sim = Simulator()
+        ch = sim.add_channel("w.out", capacity=1)  # filled, never drained
+        sim.add_component(BlockedWriter("w", ch))
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run(lambda: False, max_cycles=DEADLOCK_WINDOW * 3)
+        err = excinfo.value
+        assert err.postmortem is not None
+        stalled = {c["name"]: c for c in err.postmortem["stalled"]}
+        assert stalled["w"]["state"] == OBS_STALL_OUT
+        assert stalled["w"]["reason"] == "sink-full"
+        stuck = {ch_["name"]: ch_ for ch_ in err.postmortem["channels"]}
+        assert stuck["w.out"]["occupancy"] == 1
+        assert stuck["w.out"]["capacity"] == 1
+        # and the human-readable message carries the same attribution
+        assert "w[stall_out:sink-full]" in str(err)
+        assert "w.out(1/1)" in str(err)
+
+    def test_livelock_postmortem_names_stuck_component_and_channel(self):
+        """STALL_WINDOW case: a component stays busy (so the idle-deadlock
+        window never fires) while retrying a push into a full channel —
+        no channel ever moves. The livelock detector must fire and the
+        post-mortem must attribute the stall."""
+
+        class BusyRetrier(Component):
+            def __init__(self, name, out):
+                super().__init__(name)
+                self.out = out
+
+            def tick(self, cycle):
+                if self.out.can_push():
+                    self.out.push("x")
+
+            def is_busy(self):
+                return True  # always claims work in flight
+
+            def obs_classify(self, cycle):
+                if not self.out.can_push():
+                    return OBS_STALL_OUT, "retry-full"
+                return "busy", None
+
+        sim = Simulator()
+        ch = sim.add_channel("r.out", capacity=1)
+        sim.add_component(BusyRetrier("r", ch))
+        with pytest.raises(DeadlockError, match="livelock") as excinfo:
+            sim.run(lambda: False, max_cycles=STALL_WINDOW * 2)
+        err = excinfo.value
+        assert err.cycle > STALL_WINDOW  # outlived the idle window
+        stalled = {c["name"]: c for c in err.postmortem["stalled"]}
+        assert stalled["r"]["reason"] == "retry-full"
+        stuck = {ch_["name"] for ch_ in err.postmortem["channels"]}
+        assert "r.out" in stuck
+        assert "r[stall_out:retry-full]" in str(err)
 
     def test_busy_component_defers_deadlock(self):
         class SlowSource(Component):

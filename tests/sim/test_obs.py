@@ -1,0 +1,199 @@
+"""Tests for the observability subsystem: cycle accounting, channel
+probes, the zero-cost-when-disabled invariant, and trace export."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    ChannelProbe,
+    CycleLedger,
+    Observer,
+    chrome_trace,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.sim import (
+    OBS_BUSY,
+    OBS_IDLE,
+    OBS_STALL_IN,
+    OBS_STALL_OUT,
+    Channel,
+    Component,
+    Simulator,
+    Trace,
+)
+
+
+class Producer(Component):
+    def __init__(self, name, out, count):
+        super().__init__(name)
+        self.out = out
+        self.remaining = count
+        self.next_value = 0
+
+    def tick(self, cycle):
+        if self.remaining > 0 and self.out.can_push():
+            self.out.push(self.next_value)
+            self.next_value += 1
+            self.remaining -= 1
+
+    def obs_classify(self, cycle):
+        if self.remaining <= 0:
+            return OBS_IDLE, None
+        if not self.out.can_push():
+            return OBS_STALL_OUT, "consumer-backpressure"
+        return OBS_BUSY, None
+
+
+class Consumer(Component):
+    def __init__(self, name, inp, stall_every=0):
+        super().__init__(name)
+        self.inp = inp
+        self.received = []
+        self.stall_every = stall_every
+
+    def tick(self, cycle):
+        if self.stall_every and cycle % self.stall_every == 0:
+            return
+        if self.inp.can_pop():
+            self.received.append(self.inp.pop())
+
+    def obs_classify(self, cycle):
+        return (OBS_BUSY, None) if self.inp.can_pop() else (OBS_IDLE, None)
+
+
+class TestCycleLedger:
+    def test_conservation(self):
+        ledger = CycleLedger("x")
+        for cycle in range(10):
+            ledger.record(cycle, OBS_BUSY if cycle % 2 else OBS_IDLE)
+        assert ledger.cycles == 10
+        assert sum(ledger.breakdown().values()) == 10
+        assert ledger.utilization() == 0.5
+
+    def test_reasons_and_timeline_rle(self):
+        ledger = CycleLedger("x")
+        for cycle in range(4):
+            ledger.record(cycle, OBS_STALL_IN, "memory")
+        ledger.record(4, OBS_BUSY)
+        assert ledger.stall_reasons() == {"memory": 4}
+        assert ledger.timeline == [[0, 4, OBS_STALL_IN, "memory"],
+                                   [4, 5, OBS_BUSY, None]]
+
+    def test_rejects_unknown_state(self):
+        with pytest.raises(ValueError):
+            CycleLedger("x").record(0, "sleeping")
+
+
+class TestChannelProbe:
+    def test_histogram_peak_backpressure(self):
+        ch = Channel("c", capacity=1)
+        probe = ChannelProbe(ch)
+        probe.record(0)            # empty
+        ch.push(1)
+        ch.commit()
+        probe.record(1)            # full
+        probe.record(2)            # still full
+        assert probe.peak_depth == 1
+        assert probe.backpressure_cycles == 2
+        assert probe.histogram == {0: 1, 1: 2}
+        assert probe.occupancy_timeline == [(0, 0), (1, 1)]
+        assert probe.mean_occupancy() == pytest.approx(2 / 3)
+
+
+class TestObserver:
+    def _run(self, stall_every=0, capacity=2):
+        sim = Simulator()
+        ch = sim.add_channel("pc", capacity=capacity)
+        sim.add_component(Producer("p", ch, count=30))
+        consumer = sim.add_component(Consumer("c", ch, stall_every=stall_every))
+        observer = sim.attach_observer(Observer())
+        cycles = sim.run(lambda: len(consumer.received) == 30,
+                         max_cycles=5000)
+        return sim, observer, cycles
+
+    def test_every_component_accounts_every_cycle(self):
+        sim, observer, cycles = self._run()
+        assert observer.cycles_observed == cycles
+        for ledger in observer.ledgers.values():
+            assert ledger.cycles == cycles
+            assert sum(ledger.breakdown().values()) == cycles
+
+    def test_backpressure_attributed(self):
+        sim, observer, _ = self._run(stall_every=2, capacity=1)
+        producer = observer.ledgers["p"]
+        assert producer.stall_reasons().get("consumer-backpressure", 0) > 0
+        assert ("p", "consumer-backpressure",
+                producer.stall_reasons()["consumer-backpressure"]) in \
+            observer.stall_sources()
+        probe = observer.probes["pc"]
+        assert probe.backpressure_cycles > 0
+        assert probe.peak_depth == 1
+
+    def test_channel_totals_in_sim_stats(self):
+        sim, _, _ = self._run()
+        stats = sim.stats()
+        assert stats["channels"]["pc"]["pushed"] == 30
+        assert stats["channels"]["pc"]["popped"] == 30
+
+
+class TestZeroCost:
+    """Observability off must be bit-identical to the seed simulator."""
+
+    def test_workload_cycles_identical_with_and_without_instrumentation(self):
+        from repro.workloads import REGISTRY
+
+        workload = REGISTRY.get("saxpy")
+        plain = workload.run(scale=1)
+        observer = Observer()
+        instrumented = workload.run(scale=1, trace=Trace(enabled=True),
+                                    observer=observer)
+        assert plain.cycles == instrumented.cycles
+        assert plain.correct and instrumented.correct
+        assert observer.cycles_observed == instrumented.cycles
+        # conservation holds for the real accelerator too
+        for ledger in observer.ledgers.values():
+            assert sum(ledger.breakdown().values()) == instrumented.cycles
+
+
+class TestChromeTrace:
+    def _profiled_run(self):
+        from repro.workloads import REGISTRY
+
+        observer = Observer()
+        trace = Trace(enabled=True)
+        result = REGISTRY.get("saxpy").run(scale=1, trace=trace,
+                                           observer=observer)
+        return result, observer, trace
+
+    def test_export_is_valid_and_monotonic(self):
+        result, observer, trace = self._profiled_run()
+        document = chrome_trace(observer=observer, trace=trace)
+        assert validate_chrome_trace(document) == []
+        # round-trips through JSON (payloads carry IR objects)
+        encoded = json.dumps(document)
+        assert json.loads(encoded)["traceEvents"]
+
+    def test_per_tile_tracks_present(self):
+        _, observer, trace = self._profiled_run()
+        document = chrome_trace(observer=observer, trace=trace)
+        thread_names = [e["args"]["name"] for e in document["traceEvents"]
+                        if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert any(".tile0" in name for name in thread_names)
+        states = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert states and all(e["dur"] >= 1 for e in states)
+
+    def test_export_to_file_object(self):
+        _, observer, trace = self._profiled_run()
+        buffer = io.StringIO()
+        export_chrome_trace(buffer, observer=observer, trace=trace)
+        assert json.loads(buffer.getvalue())["traceEvents"]
+
+    def test_counter_tracks_for_channels(self):
+        _, observer, trace = self._profiled_run()
+        document = chrome_trace(observer=observer)
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert all("occupancy" in e["args"] for e in counters)

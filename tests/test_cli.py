@@ -126,6 +126,56 @@ class TestCommands:
             assert name in out
 
 
+class TestObservability:
+    def test_profile_command(self, kernel_file, capsys):
+        assert main(["profile", kernel_file, "--size", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Cycle accounting (per component)" in out
+        assert "Tile occupancy" in out
+
+    def test_profile_trace_out_is_valid_perfetto_json(self, kernel_file,
+                                                      tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["profile", kernel_file, "--size", "6",
+                     "--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        document = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(document) == []
+        assert document["traceEvents"]
+
+    def test_run_stats_json_schema(self, tmp_path, capsys):
+        import json
+
+        from repro.reports.benchjson import RECORD_KEYS
+
+        stats_path = tmp_path / "stats.json"
+        assert main(["run", "saxpy", "--stats-json", str(stats_path)]) == 0
+        capsys.readouterr()
+        record = json.loads(stats_path.read_text())
+        for key in RECORD_KEYS:
+            assert key in record, f"stats json missing {key!r}"
+        assert record["workload"] == "saxpy"
+        assert record["cycles"] > 0
+        assert record["utilization"]
+        assert isinstance(record["stalls"], dict)
+
+    def test_run_check_repro(self, capsys):
+        assert main(["run", "saxpy", "--check-repro"]) == 0
+        out = capsys.readouterr().out
+        assert "reproducible" in out
+        assert "observability off and on" in out
+
+    def test_run_profile_flag(self, capsys):
+        assert main(["run", "saxpy", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "saxpy: OK" in out
+        assert "Cycle accounting (per component)" in out
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["compile", "/nonexistent.tapas"]) == 1
