@@ -20,19 +20,23 @@ SCALES = {"matrix_add": 2, "image_scale": 2, "saxpy": 2, "stencil": 2,
 def sweep(name):
     workload = REGISTRY.get(name)
     cycles = {}
+    engines = {}
     for tiles in TILES:
         result = workload.run(config=workload.default_config(ntiles=tiles),
                               scale=SCALES[name])
         assert result.correct, f"{name} wrong at {tiles} tiles"
         cycles[tiles] = result.cycles
-    return cycles
+        engines[tiles] = result.stats.get("engine")
+    return cycles, engines
 
 
 def test_fig15_tile_scaling(benchmark, save_result, save_json):
     def run():
         return {name: sweep(name) for name in REGISTRY.names()}
 
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    data = {name: cycles for name, (cycles, _) in results.items()}
+    engines = {name: engine for name, (_, engine) in results.items()}
 
     speedups = {
         name: [cycles[1] / cycles[t] for t in TILES]
@@ -46,7 +50,7 @@ def test_fig15_tile_scaling(benchmark, save_result, save_json):
     save_result("fig15_tile_scaling", text)
     save_json("fig15_tile_scaling", [
         bench_record(name, config={"ntiles": tiles, "scale": SCALES[name]},
-                     cycles=data[name][tiles],
+                     cycles=data[name][tiles], engine=engines[name][tiles],
                      speedup=round(data[name][1] / data[name][tiles], 2))
         for name in REGISTRY.names() for tiles in TILES])
 

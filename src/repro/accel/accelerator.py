@@ -47,7 +47,7 @@ class Accelerator:
         self.config = config
         self.trace = trace
         self.observer = observer
-        self.sim = Simulator(design.module.name)
+        self.sim = Simulator(design.module.name, engine=config.engine)
         if observer is not None:
             self.sim.attach_observer(observer)
         self.memory = MainMemory(config.memory_bytes)
@@ -168,6 +168,8 @@ class Accelerator:
 
     def collect_stats(self) -> Dict[str, Any]:
         stats = {
+            "cycles": self.sim.cycle,
+            "engine": self.sim.engine_stats(),
             "network": self.network.stats(),
             "units": {u.name: u.stats() for u in self.units},
         }

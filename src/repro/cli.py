@@ -9,6 +9,8 @@ Subcommands mirror the toolchain stages:
 * ``estimate``  — source file -> resources / fmax / power per board
 * ``run``       — execute a registered workload and report cycles
 * ``profile``   — run a source file under the cycle profiler
+* ``diff``      — run a source file under both simulation engines and
+  fail unless cycle counts and stats are bit-identical
 * ``workloads`` — list the paper's benchmark suite
 """
 
@@ -38,6 +40,7 @@ from repro.reports import (
     task_graph_dot,
 )
 from repro.rtl import emit_design, emit_top_verilog
+from repro.sim import ENGINES
 
 
 def _load_module(path: str):
@@ -120,7 +123,7 @@ def _write_stats_json(path: str, workload_name: str, config, cycles: int,
         utilization = utilization_from_stats(stats, cycles) or None
     record = bench_record(workload_name, config=config, cycles=cycles,
                           utilization=utilization, stalls=stalls,
-                          **(extra or {}))
+                          engine=stats, **(extra or {}))
     record["stats"] = _json_safe_stats(stats)
     with open(path, "w") as handle:
         json.dump(record, handle, indent=1)
@@ -155,7 +158,7 @@ def cmd_run(args) -> int:
 
     workload = REGISTRY.get(args.workload)
     config = workload.default_config(
-        ntiles=args.tiles if args.tiles else None)
+        ntiles=args.tiles if args.tiles else None, engine=args.engine)
 
     if args.check_repro:
         # zero-cost-when-disabled invariant, checked at the CLI level:
@@ -168,7 +171,8 @@ def cmd_run(args) -> int:
         plain = workload.run(config=config, scale=args.scale)
         instrumented = workload.run(
             config=workload.default_config(
-                ntiles=args.tiles if args.tiles else None),
+                ntiles=args.tiles if args.tiles else None,
+                engine=args.engine),
             scale=args.scale, trace=Trace(enabled=True), observer=Observer())
         if plain.cycles != instrumented.cycles:
             print(f"error: {workload.name}: instrumentation changed the "
@@ -247,7 +251,7 @@ def cmd_profile(args) -> int:
               + f" in {args.source}", file=sys.stderr)
         return 1
 
-    config = AcceleratorConfig(default_ntiles=args.tiles)
+    config = AcceleratorConfig(default_ntiles=args.tiles, engine=args.engine)
     trace = Trace(enabled=True)
     observer = Observer()
     accel = build_accelerator(module, config, trace=trace, observer=observer)
@@ -267,6 +271,46 @@ def cmd_profile(args) -> int:
                           config, result.cycles, result.stats,
                           observer=observer)
         print(f"stats written to {args.stats_json}")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Differential run: dense vs event engine on one source file.
+
+    The event engine's contract is bit-identical cycle counts and
+    architectural stats against the dense oracle; this command checks it
+    end to end on an arbitrary ``.cilk`` source (CI runs it over every
+    file in ``examples/programs/``).
+    """
+    module = _load_module(args.source)
+    function = (module.function(args.entry) if args.entry
+                else (module.functions[0] if module.functions else None))
+    if function is None:
+        print(f"error: no entry function"
+              + (f" named {args.entry!r}" if args.entry else "")
+              + f" in {args.source}", file=sys.stderr)
+        return 1
+
+    outcomes = {}
+    for engine in ("dense", "event"):
+        config = AcceleratorConfig(default_ntiles=args.tiles, engine=engine)
+        accel = build_accelerator(module, config)
+        entry_args = _default_profile_args(function, accel.memory, args.size)
+        result = accel.run(function.name, entry_args)
+        stats = dict(result.stats)
+        stats.pop("engine", None)  # host-side numbers legitimately differ
+        outcomes[engine] = (result.cycles, result.retval, stats)
+
+    dense, event = outcomes["dense"], outcomes["event"]
+    label = f"{module.name}:{function.name}"
+    if dense != event:
+        print(f"error: {label}: engines diverge "
+              f"(dense {dense[0]} cycles, event {event[0]} cycles"
+              + ("" if dense[1:] == event[1:] else "; retval/stats differ")
+              + ")", file=sys.stderr)
+        return 1
+    print(f"{label}: engines agree, {dense[0]} cycles "
+          f"(retval {dense[1]!r})")
     return 0
 
 
@@ -329,6 +373,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-repro", action="store_true",
                    help="run twice (observability off and on) and fail if "
                         "cycle counts diverge")
+    p.add_argument("--engine", choices=list(ENGINES), default="event",
+                   help="simulation kernel (default: event)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("profile",
@@ -342,7 +388,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Perfetto/chrome://tracing JSON trace")
     p.add_argument("--stats-json", metavar="FILE",
                    help="write cycles/utilization/stall stats as JSON")
+    p.add_argument("--engine", choices=list(ENGINES), default="event",
+                   help="simulation kernel (default: event)")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("diff",
+                       help="check dense and event engines agree bit-exactly")
+    p.add_argument("source")
+    p.add_argument("--entry", help="entry function (default: first function)")
+    p.add_argument("--tiles", type=int, default=1)
+    p.add_argument("--size", type=int, default=12,
+                   help="synthesized input size / scalar value (default 12)")
+    p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser("workloads", help="list the benchmark suite")
     p.set_defaults(func=cmd_workloads)

@@ -12,7 +12,19 @@ from collections import deque
 from typing import Deque, List, Tuple
 
 from repro.errors import SimulationError
-from repro.sim import OBS_BUSY, OBS_IDLE, OBS_STALL_OUT, Channel, Component
+from repro.sim import NEVER, OBS_BUSY, OBS_IDLE, OBS_STALL_OUT, Channel, Component
+
+
+def _pipe_wake(pipe, cycle):
+    """Shared next_wake for deadline pipelines: the head's deadline is the
+    only timer; a due head was either acted on this tick (our own channel
+    movement re-wakes us) or is blocked on backpressure (the blocking
+    channel's pop wakes us)."""
+    if pipe:
+        head = pipe[0][0]
+        if head > cycle:
+            return head
+    return NEVER
 
 
 def tree_levels(fan_in: int) -> int:
@@ -60,6 +72,12 @@ class RoundRobinArbiter(Component):
                     self._next = (idx + 1) % n
                     self.grants += 1
                     break
+
+    def sensitivity(self):
+        return tuple(self.inputs) + (self.output,)
+
+    def next_wake(self, cycle):
+        return _pipe_wake(self._pipe, cycle)
 
     def is_busy(self):
         return bool(self._pipe)
@@ -111,6 +129,12 @@ class Demux(Component):
         if self.input.can_pop() and len(self._pipe) <= self.levels:
             msg = self.input.pop()
             self._pipe.append((cycle + self.levels, msg))
+
+    def sensitivity(self):
+        return (self.input,) + tuple(self.outputs)
+
+    def next_wake(self, cycle):
+        return _pipe_wake(self._pipe, cycle)
 
     def is_busy(self):
         return bool(self._pipe)

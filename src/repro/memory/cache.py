@@ -19,6 +19,7 @@ from repro.errors import ConfigError
 from repro.memory.backing import MainMemory
 from repro.memory.messages import MemRequest, MemResponse
 from repro.sim import (
+    NEVER,
     OBS_BUSY,
     OBS_IDLE,
     OBS_STALL_IN,
@@ -257,6 +258,23 @@ class Cache(Component):
         if (self._ready_responses and self._ready_responses[0][0] <= cycle
                 and self.response_out.can_push()):
             self.response_out.push(self._ready_responses.popleft()[1])
+
+    def sensitivity(self):
+        return (self.request_in, self.response_out,
+                self.dram_request, self.dram_response)
+
+    def next_wake(self, cycle):
+        # the only pure timer is the hit-latency countdown of the head
+        # ready-response (sends are head-only and in order, so entries
+        # behind it cannot act sooner even if their deadline is earlier).
+        # Everything else — fills, MSHR drains, writeback retries, a
+        # response we just pushed — arrives as movement on a sensitivity
+        # channel, including our own pops/pushes this tick.
+        if self._ready_responses:
+            head = self._ready_responses[0][0]
+            if head > cycle:
+                return head
+        return NEVER
 
     def is_busy(self):
         return bool(self._ready_responses or self._mshrs

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.sim import (
+    NEVER,
     OBS_BUSY,
     OBS_IDLE,
     OBS_STALL_IN,
@@ -70,8 +71,21 @@ class DataBox(Component):
         self.forwarded = 0
         self.peak_outstanding = 0
         self.stalled_cycles = 0
+        #: last cycle whose stalled_cycles accounting is complete — the
+        #: event engine may skip ticks while the allocator table is full
+        #: (state frozen), so the per-cycle counter is caught up in bulk
+        self._synced_to = -1
+
+    def _catch_up(self, through_cycle: int):
+        gap = through_cycle - self._synced_to
+        if gap > 0:
+            if self._outstanding >= self.entries:
+                self.stalled_cycles += gap
+            self._synced_to = through_cycle
 
     def tick(self, cycle: int):
+        self._catch_up(cycle - 1)
+        self._synced_to = cycle
         # response path: free a staging entry, route back by tile tag
         if self.from_cache.can_pop():
             resp = self.from_cache.peek()
@@ -99,6 +113,15 @@ class DataBox(Component):
                                             self._outstanding)
                 return
 
+    def sensitivity(self):
+        return (tuple(self.tile_request) + tuple(self.tile_response)
+                + (self.to_cache, self.from_cache))
+
+    def next_wake(self, cycle):
+        # purely channel-driven: every stall resolves via a pop/push on a
+        # sensitivity channel, and our own movement this tick re-wakes us
+        return NEVER
+
     def is_busy(self):
         return self._outstanding > 0
 
@@ -117,6 +140,8 @@ class DataBox(Component):
         return OBS_IDLE, None
 
     def stats(self):
+        if self.sim is not None:
+            self._catch_up(self.sim.cycle - 1)
         return {
             "forwarded": self.forwarded,
             "peak_outstanding": self.peak_outstanding,

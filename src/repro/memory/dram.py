@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Tuple
 
-from repro.sim import OBS_BUSY, OBS_IDLE, OBS_STALL_OUT, Channel, Component
+from repro.sim import NEVER, OBS_BUSY, OBS_IDLE, OBS_STALL_OUT, Channel, Component
 
 #: 270 ns at 150 MHz (Table V experimental setup)
 DEFAULT_DRAM_LATENCY = 40
@@ -54,6 +54,19 @@ class DRAMModel(Component):
             msg = self.request_in.pop()
             self._in_flight.append((cycle + self.latency, msg))
             self.accesses += 1
+
+    def sensitivity(self):
+        return (self.request_in, self.response_out)
+
+    def next_wake(self, cycle):
+        # deadlines are sorted (constant latency), so the head is the next
+        # timer. A head already due means this tick either pushed it (our
+        # own push wakes us next cycle) or was backpressured (only a pop
+        # on response_out can unblock us) — no timer needed either way.
+        if not self._in_flight:
+            return NEVER
+        head = self._in_flight[0][0]
+        return head if head > cycle else NEVER
 
     def is_busy(self):
         return bool(self._in_flight)

@@ -9,7 +9,7 @@ from typing import Deque, Tuple
 
 from repro.memory.backing import MainMemory
 from repro.memory.messages import MemRequest, MemResponse
-from repro.sim import OBS_BUSY, OBS_IDLE, OBS_STALL_OUT, Channel, Component
+from repro.sim import NEVER, OBS_BUSY, OBS_IDLE, OBS_STALL_OUT, Channel, Component
 
 
 class Scratchpad(Component):
@@ -41,6 +41,19 @@ class Scratchpad(Component):
                 data = None
             self._pipe.append(
                 (cycle + self.latency, MemResponse(req.tag, data, port=req.port)))
+
+    def sensitivity(self):
+        return (self.request_in, self.response_out)
+
+    def next_wake(self, cycle):
+        # constant latency keeps _pipe sorted; a due head was either
+        # pushed this tick (our own push wakes us) or is backpressured
+        # (a pop on response_out wakes us)
+        if self._pipe:
+            head = self._pipe[0][0]
+            if head > cycle:
+                return head
+        return NEVER
 
     def is_busy(self):
         return bool(self._pipe)

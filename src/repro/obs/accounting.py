@@ -68,6 +68,31 @@ class CycleLedger:
             else:
                 runs.append([cycle, cycle + 1, state, reason])
 
+    def record_span(self, start: int, span: int, state: str,
+                    reason: Optional[str] = None):
+        """Record ``span`` consecutive cycles of one constant state.
+
+        Used by the event engine's quiescent fast-forward: over a skipped
+        range no component ticks and no channel commits, so the per-cycle
+        classification the dense engine would have recomputed is provably
+        constant. One bulk update yields byte-identical ledgers.
+        """
+        if span <= 0:
+            return
+        if state not in OBS_STATES:
+            raise ValueError(f"ledger {self.name}: unknown state {state!r}")
+        self.cycles += span
+        self.counters.bump(state, span)
+        if reason is not None:
+            self.counters.bump(REASON_PREFIX + reason, span)
+        if self.keep_timeline:
+            runs = self.timeline
+            if runs and runs[-1][1] == start and runs[-1][2] == state \
+                    and runs[-1][3] == reason:
+                runs[-1][1] = start + span
+            else:
+                runs.append([start, start + span, state, reason])
+
     # -- derived views -----------------------------------------------------
 
     @property
@@ -141,6 +166,21 @@ class ChannelProbe:
         tl = self.occupancy_timeline
         if not tl or tl[-1][1] != occ:
             tl.append((cycle, occ))
+
+    def record_span(self, start: int, span: int):
+        """Bulk-record ``span`` cycles of frozen occupancy (no commits)."""
+        if span <= 0:
+            return
+        occ = self.channel.occupancy
+        self.samples += span
+        self.histogram[occ] += span
+        if occ > self.peak_depth:
+            self.peak_depth = occ
+        if occ >= self.channel.capacity:
+            self.backpressure_cycles += span
+        tl = self.occupancy_timeline
+        if not tl or tl[-1][1] != occ:
+            tl.append((start, occ))
 
     def mean_occupancy(self) -> float:
         if not self.samples:

@@ -63,6 +63,45 @@ class Observer:
                 probe = probes[channel.name] = ChannelProbe(channel)
             probe.record(cycle)
 
+    def on_quiet_span(self, sim, start: int, span: int):
+        """Called by the event engine instead of ``span`` ``on_cycle`` calls.
+
+        Over a fast-forwarded range nothing ticks and nothing commits, and
+        the engine only skips to the earliest armed timer — so every
+        ``done > cycle`` style comparison inside ``obs_classify`` is
+        constant across the range. Classify once, record a run. Engines
+        without this optimisation (or observers without this method) fall
+        back to per-cycle ``on_cycle``; both produce identical ledgers.
+        """
+        if span <= 0:
+            return
+        self.cycles_observed += span
+        if self.first_cycle is None:
+            self.first_cycle = start
+        self.last_cycle = start + span - 1
+        ledgers = self.ledgers
+        for component in sim.components:
+            state, reason = component.obs_classify(start)
+            ledger = ledgers.get(component.name)
+            if ledger is None:
+                ledger = ledgers[component.name] = CycleLedger(
+                    component.name, keep_timeline=self.keep_timeline)
+            ledger.record_span(start, span, state, reason)
+            for child_name, child_state, child_reason in \
+                    component.obs_children(start):
+                child = ledgers.get(child_name)
+                if child is None:
+                    child = ledgers[child_name] = CycleLedger(
+                        child_name, group=component.name,
+                        keep_timeline=self.keep_timeline)
+                child.record_span(start, span, child_state, child_reason)
+        probes = self.probes
+        for channel in sim.channels:
+            probe = probes.get(channel.name)
+            if probe is None:
+                probe = probes[channel.name] = ChannelProbe(channel)
+            probe.record_span(start, span)
+
     # -- derived views -----------------------------------------------------
 
     def component_ledgers(self) -> List[CycleLedger]:

@@ -4,13 +4,17 @@ Every ``benchmarks/bench_*.py`` writes, next to its ``results/*.txt``
 table, a ``results/*.json`` document so the performance trajectory can
 be tracked across PRs. The schema is one document per bench::
 
-    {"bench": str, "schema": 1,
+    {"bench": str, "schema": 2,
      "records": [{"workload": str, "config": {...}, "cycles": int|null,
                   "utilization": {...}|null, "stalls": {...}|null,
-                  "metrics": {...}}]}
+                  "engine": {...}|null, "metrics": {...}}]}
 
 ``bench_record`` builds one record; non-simulation benches (resource
 tables) set ``cycles`` to None and carry their numbers in ``metrics``.
+Schema 2 adds the ``engine`` key: host-side performance of the
+simulation itself (engine name, ``host_seconds``,
+``sim_cycles_per_host_second``) so simulator throughput can be tracked
+across PRs alongside the architectural numbers.
 """
 
 from __future__ import annotations
@@ -18,11 +22,14 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: keys every record must carry (value may be None)
 RECORD_KEYS = ("workload", "config", "cycles", "utilization", "stalls",
-               "metrics")
+               "engine", "metrics")
+
+#: subset of Simulator.engine_stats() carried in bench records
+ENGINE_RECORD_KEYS = ("name", "host_seconds", "sim_cycles_per_host_second")
 
 
 def config_summary(config) -> Dict[str, Any]:
@@ -33,6 +40,7 @@ def config_summary(config) -> Dict[str, Any]:
         "memory_model": config.memory_model,
         "dram_latency": config.effective_dram_latency(),
         "analysis_level": config.analysis_level,
+        "engine": config.engine,
         "cache": {
             "size_bytes": config.cache.size_bytes,
             "line_bytes": config.cache.line_bytes,
@@ -63,23 +71,43 @@ def utilization_from_stats(stats: Dict[str, Any],
     return out
 
 
+def engine_summary(source: Any) -> Optional[Dict[str, Any]]:
+    """The record ``engine`` key from a stats dict or engine_stats dict.
+
+    Accepts a ``RunResult.stats`` dict (engine stats nested under
+    ``"engine"``) or a ``Simulator.engine_stats()`` dict directly.
+    """
+    if source is None:
+        return None
+    engine = source.get("engine", source)
+    if not isinstance(engine, dict) or "name" not in engine:
+        return None
+    return {key: engine.get(key) for key in ENGINE_RECORD_KEYS}
+
+
 def bench_record(workload: str, config: Any = None,
                  cycles: Optional[int] = None,
                  utilization: Optional[dict] = None,
                  stalls: Optional[dict] = None,
                  stats: Optional[dict] = None,
+                 engine: Optional[dict] = None,
                  **metrics) -> Dict[str, Any]:
     """One benchmark data point in the BENCH_*.json schema."""
     if not isinstance(config, (dict, type(None))):
         config = config_summary(config)
     if utilization is None and stats is not None and cycles:
         utilization = utilization_from_stats(stats, cycles) or None
+    if engine is None and stats is not None:
+        engine = engine_summary(stats)
+    else:
+        engine = engine_summary(engine)
     return {
         "workload": workload,
         "config": config,
         "cycles": cycles,
         "utilization": utilization,
         "stalls": stalls,
+        "engine": engine,
         "metrics": metrics,
     }
 

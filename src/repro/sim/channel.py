@@ -35,6 +35,17 @@ class Channel:
         self._pending_pop = False
         self.total_pushed = 0
         self.total_popped = 0
+        #: owning simulator (set by Simulator.add_channel); lets the event
+        #: engine commit only the channels touched this cycle
+        self.sim = None
+        self._dirty = False
+        #: event-aware components woken when this channel moves
+        self._subscribers: list = []
+
+    def _mark_dirty(self):
+        if not self._dirty and self.sim is not None:
+            self._dirty = True
+            self.sim._dirty_channels.append(self)
 
     # -- producer side -------------------------------------------------------
 
@@ -50,6 +61,7 @@ class Channel:
             raise SimulationError(
                 f"channel {self.name}: push into full channel")
         self._pending_push = item
+        self._mark_dirty()
 
     # -- consumer side -------------------------------------------------------
 
@@ -69,6 +81,7 @@ class Channel:
         if not self._items:
             raise SimulationError(f"channel {self.name}: pop from empty channel")
         self._pending_pop = True
+        self._mark_dirty()
         return self._items[0]
 
     # -- clock edge -----------------------------------------------------------
@@ -76,6 +89,7 @@ class Channel:
     def commit(self) -> bool:
         """Apply this cycle's push/pop; returns True if anything moved."""
         moved = False
+        self._dirty = False
         if self._pending_pop:
             self._items.popleft()
             self.total_popped += 1

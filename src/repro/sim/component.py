@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+#: sentinel wake time: "never wake me on a timer — only channel activity
+#: (or an explicit reschedule) makes me runnable again"
+NEVER = 1 << 62
+
 #: cycle-accounting states — every simulated cycle of every component is
 #: attributed to exactly one of these (the Table III utilization model):
 #: doing useful work, waiting for upstream data, blocked by downstream
@@ -22,10 +26,43 @@ class Component:
     def __init__(self, name: str):
         self.name = name
         self.sim = None  # set on registration
+        # event-engine bookkeeping, owned by the Simulator
+        self._sim_index = -1
+        self._wake_cycle = NEVER
+        self._event_aware = False
 
     def tick(self, cycle: int):
         """Do one cycle of work: read input channels, update internal
         state, push output channels."""
+
+    # -- event-engine contract ---------------------------------------------
+
+    def sensitivity(self):
+        """Channels whose committed movement (a push or a pop) must wake
+        this component on the following cycle.
+
+        Return ``None`` (the default) to opt out of event-driven
+        scheduling: the engine then wakes the component on every cycle,
+        which is always correct — exactly the dense-engine behaviour.
+        An event-aware component returns every channel it reads *or*
+        writes; waking too often is harmless (a quiescent tick is a
+        no-op), waking too rarely breaks bit-identity with the dense
+        engine.
+        """
+        return None
+
+    def next_wake(self, cycle: int) -> int:
+        """Earliest future cycle this component can make progress without
+        new activity on its sensitivity channels.
+
+        Called by the event engine immediately after :meth:`tick`.
+        Return :data:`NEVER` when only channel traffic can unblock it
+        (the quiescent state that enables fast-forward), a deadline for
+        internal countdowns (DRAM in flight, pipeline registers), or
+        ``cycle + 1`` to stay hot. The default keeps the component woken
+        every cycle — dense semantics.
+        """
+        return cycle + 1
 
     def is_busy(self) -> bool:
         """True while the component holds in-flight work that will make

@@ -1,12 +1,37 @@
-"""The cycle engine: two-phase clock over components and channels."""
+"""The cycle engine: a two-phase clock over components and channels.
+
+Two engines share one contract:
+
+* ``engine="dense"`` — the original oracle loop: every component ticks
+  and every channel commits on every cycle.
+* ``engine="event"`` (default) — an event-driven kernel. Components
+  declare *sensitivity* (the channels they read/write) and an optional
+  self-wake timer (:meth:`Component.next_wake`); the engine keeps a
+  current-cycle wake set, a channel ``commit()`` wakes subscribers, and
+  only woken components tick. When the wake set runs dry but timers are
+  armed (DRAM in flight, cache fills counting down) the clock jumps
+  straight to the next deadline — *quiescent fast-forward*.
+
+The contract between them is **bit-identical cycle counts and stats**:
+TAPAS designs are latency-insensitive (every inter-block interface is a
+registered ready/valid handshake, reads observe start-of-cycle state),
+so a tick of a component whose inputs did not change and whose timers
+have not expired is a pure no-op, and skipping it cannot be observed.
+Components that do not implement the sensitivity contract default to
+being woken every cycle, which degrades to dense behaviour and is
+therefore always safe. Differential tests over every example program and
+benchmark config enforce the bit-identity.
+"""
 
 from __future__ import annotations
 
+import heapq
+import time
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.channel import Channel
-from repro.sim.component import Component
+from repro.sim.component import NEVER, Component
 
 #: cycles of total inactivity tolerated before declaring deadlock; must
 #: exceed the worst-case quiet period of any component (DRAM latency).
@@ -17,12 +42,18 @@ DEADLOCK_WINDOW = 2048
 #: (e.g. a task-queue-full circular wait in deep recursion).
 STALL_WINDOW = 32768
 
+ENGINES = ("event", "dense")
+
 
 class Simulator:
     """Owns the clock, all components and all channels."""
 
-    def __init__(self, name: str = "sim"):
+    def __init__(self, name: str = "sim", engine: str = "event"):
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r} (expected one of {ENGINES})")
         self.name = name
+        self.engine = engine
         self.cycle = 0
         self.components: List[Component] = []
         self.channels: List[Channel] = []
@@ -32,16 +63,33 @@ class Simulator:
         #: optional per-cycle sampler (repro.obs.Observer); None keeps the
         #: hot loop at a single pointer test per cycle
         self.observer = None
+        # -- event-engine state ------------------------------------------
+        #: channels with a pending push/pop this cycle (self-registered)
+        self._dirty_channels: List[Channel] = []
+        #: components due on the very next cycle — the common case, kept
+        #: out of the heap so steady-state scheduling is list appends
+        self._due_list: List[Component] = []
+        self._heap: List[tuple] = []          # (wake_cycle, component index)
+        self._finalized_shape = (-1, -1)      # (n components, n channels)
+        # -- host wall-clock accounting ----------------------------------
+        self.host_seconds = 0.0
+        self._cycles_simulated = 0
+        self._ticks_executed = 0
+        self._component_ticks = 0
+        self._fast_forwarded_cycles = 0
 
     # -- construction -----------------------------------------------------
 
     def add_component(self, component: Component) -> Component:
         component.sim = self
+        component._sim_index = len(self.components)
+        component._wake_cycle = NEVER
         self.components.append(component)
         return component
 
     def add_channel(self, name: str, capacity: int = 2) -> Channel:
         channel = Channel(name, capacity)
+        channel.sim = self
         self.channels.append(channel)
         return channel
 
@@ -59,16 +107,27 @@ class Simulator:
         self._activity_flag = True
 
     def tick(self):
-        """Advance one cycle: all components observe start-of-cycle channel
-        state, then every channel commits its handshake."""
+        """Advance one cycle densely: all components observe start-of-cycle
+        channel state, then every channel commits its handshake. This is
+        the oracle step — always correct for either engine (over-waking a
+        quiescent component is a no-op)."""
         executed = self.cycle
         for component in self.components:
             component.tick(executed)
+        self._ticks_executed += 1
+        self._component_ticks += len(self.components)
         moved = False
         for channel in self.channels:
             if channel.commit():
                 moved = True
+        self._dirty_channels.clear()
         self.cycle += 1
+        self._account(moved)
+        if self.observer is not None:
+            self.observer.on_cycle(self, executed)
+
+    def _account(self, moved: bool):
+        """Shared post-commit bookkeeping for both engines."""
         if moved or self._activity_flag:
             self._quiet_cycles = 0
         else:
@@ -78,34 +137,194 @@ class Simulator:
             self._idle_cycles = 0
         else:
             self._idle_cycles += 1
-        if self.observer is not None:
-            self.observer.on_cycle(self, executed)
 
     def run(self, done: Callable[[], bool], max_cycles: int = 10_000_000) -> int:
         """Run until ``done()`` is true; returns the cycle count.
 
-        Raises :class:`DeadlockError` if nothing moves for a full
-        inactivity window, and :class:`SimulationError` on timeout.
+        ``done`` must be a pure function of simulation state (the event
+        engine only evaluates it when state can have changed). Raises
+        :class:`DeadlockError` if nothing moves for a full inactivity
+        window, and :class:`SimulationError` on timeout.
         """
         start = self.cycle
+        t0 = time.perf_counter()
+        try:
+            if self.engine == "dense":
+                self._run_dense(done, start, max_cycles)
+            else:
+                self._run_event(done, start, max_cycles)
+        finally:
+            self.host_seconds += time.perf_counter() - t0
+            self._cycles_simulated += self.cycle - start
+        return self.cycle - start
+
+    def _check_stalls(self):
+        if self._idle_cycles > DEADLOCK_WINDOW:
+            raise DeadlockError(self.cycle, self._describe_stall(),
+                                postmortem=self.postmortem())
+        if self._quiet_cycles > STALL_WINDOW:
+            raise DeadlockError(
+                self.cycle,
+                "components busy but no channel movement (livelock — "
+                "likely a task-queue-full circular wait; increase "
+                "queue_depth). " + self._describe_stall(),
+                postmortem=self.postmortem())
+
+    def _run_dense(self, done, start, max_cycles):
         while not done():
             if self.cycle - start >= max_cycles:
                 raise SimulationError(
                     f"simulation exceeded {max_cycles} cycles without finishing")
             self.tick()
-            if self._idle_cycles > DEADLOCK_WINDOW:
-                postmortem = self.postmortem()
-                raise DeadlockError(self.cycle, self._describe_stall(),
-                                    postmortem=postmortem)
-            if self._quiet_cycles > STALL_WINDOW:
-                postmortem = self.postmortem()
-                raise DeadlockError(
-                    self.cycle,
-                    "components busy but no channel movement (livelock — "
-                    "likely a task-queue-full circular wait; increase "
-                    "queue_depth). " + self._describe_stall(),
-                    postmortem=postmortem)
-        return self.cycle - start
+            self._check_stalls()
+
+    # -- the event-driven kernel -------------------------------------------
+
+    def _finalize_event(self):
+        """(Re)build the channel-subscription map. A component whose
+        sensitivity() is None — or that watches a channel this simulator
+        does not own — runs in dense-fallback mode: woken every cycle."""
+        for channel in self.channels:
+            channel._subscribers = []
+        for component in self.components:
+            channels = component.sensitivity()
+            if channels is None:
+                component._event_aware = False
+                continue
+            channels = list(channels)
+            if any(ch.sim is not self for ch in channels):
+                component._event_aware = False
+                continue
+            component._event_aware = True
+            for channel in channels:
+                channel._subscribers.append(component)
+        self._finalized_shape = (len(self.components), len(self.channels))
+
+    def _next_event_cycle(self) -> Optional[int]:
+        """Earliest scheduled wake, discarding stale heap entries."""
+        heap = self._heap
+        components = self.components
+        while heap:
+            cyc, idx = heap[0]
+            if components[idx]._wake_cycle == cyc:
+                return cyc
+            heapq.heappop(heap)
+        return None
+
+    def _tick_event(self):
+        """One event-driven cycle: tick the woken set, commit the dirty
+        channels, wake their subscribers."""
+        executed = self.cycle
+        heap = self._heap
+        components = self.components
+        # consume the due list and any due heap entries in one pass; the
+        # _wake_cycle check drops stale heap entries and deduplicates
+        # components present in both
+        woken = []
+        for component in self._due_list:
+            if component._wake_cycle == executed:
+                component._wake_cycle = NEVER
+                woken.append(component)
+        self._due_list = []
+        while heap and heap[0][0] <= executed:
+            cyc, idx = heapq.heappop(heap)
+            component = components[idx]
+            if component._wake_cycle == cyc:
+                component._wake_cycle = NEVER
+                woken.append(component)
+        if len(woken) > 1:
+            # tick order never changes behaviour (two-phase clock), but
+            # keep registration order for determinism of trace/obs output
+            woken.sort(key=lambda c: c._sim_index)
+        next_cycle = executed + 1
+        due = self._due_list
+        for component in woken:
+            component.tick(executed)
+            if component._event_aware:
+                wake = component.next_wake(executed)
+                if wake <= next_cycle:
+                    if next_cycle < component._wake_cycle:
+                        component._wake_cycle = next_cycle
+                        due.append(component)
+                elif wake < NEVER:
+                    if wake < component._wake_cycle:
+                        component._wake_cycle = wake
+                        heapq.heappush(heap, (wake, component._sim_index))
+            elif next_cycle < component._wake_cycle:
+                component._wake_cycle = next_cycle
+                due.append(component)
+        self._ticks_executed += 1
+        self._component_ticks += len(woken)
+
+        moved = False
+        if self._dirty_channels:
+            dirty = self._dirty_channels
+            self._dirty_channels = []
+            for channel in dirty:
+                if channel.commit():
+                    moved = True
+                    for subscriber in channel._subscribers:
+                        if next_cycle < subscriber._wake_cycle:
+                            subscriber._wake_cycle = next_cycle
+                            due.append(subscriber)
+        self.cycle = next_cycle
+        self._account(moved)
+        if self.observer is not None:
+            self.observer.on_cycle(self, executed)
+
+    def _fast_forward(self, start, max_cycles):
+        """The wake set is empty and no channel is pending: nothing can
+        change until the next armed timer. Jump the clock there in one
+        step, stopping early at any deadlock/livelock/timeout boundary so
+        those still fire at exactly the dense engine's cycle."""
+        target = self._next_event_cycle()
+        limit = start + max_cycles  # timeout boundary (checked at loop top)
+        target = limit if target is None else min(target, limit)
+        # during the span nothing moves and no state changes, so the
+        # inactivity counters advance linearly — stop where they trip
+        busy = any(c.is_busy() for c in self.components)
+        if not busy:
+            target = min(target,
+                         self.cycle + DEADLOCK_WINDOW + 1 - self._idle_cycles)
+        target = min(target,
+                     self.cycle + STALL_WINDOW + 1 - self._quiet_cycles)
+        span = target - self.cycle
+        if span <= 0:  # a wake is due right now — run a normal cycle
+            self._tick_event()
+            return
+        first_skipped = self.cycle
+        self.cycle = target
+        self._quiet_cycles += span
+        if not busy:
+            self._idle_cycles += span
+        self._fast_forwarded_cycles += span
+        if self.observer is not None:
+            synth = getattr(self.observer, "on_quiet_span", None)
+            if synth is not None:
+                synth(self, first_skipped, span)
+            else:  # third-party observer: exact per-cycle replay
+                for cyc in range(first_skipped, target):
+                    self.observer.on_cycle(self, cyc)
+
+    def _run_event(self, done, start, max_cycles):
+        if self._finalized_shape != (len(self.components), len(self.channels)):
+            self._finalize_event()
+        # wake everything once: captures externally staged pushes (the
+        # host spawn) and matches the dense engine's universal first tick
+        for component in self.components:
+            if self.cycle < component._wake_cycle:
+                component._wake_cycle = self.cycle
+                self._due_list.append(component)
+        while not done():
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles without finishing")
+            if (self._due_list or self._dirty_channels
+                    or self._next_event_cycle() == self.cycle):
+                self._tick_event()
+            else:
+                self._fast_forward(start, max_cycles)
+            self._check_stalls()
 
     def postmortem(self) -> dict:
         """Per-component stall attribution plus stuck-channel inventory —
@@ -121,8 +340,35 @@ class Simulator:
 
     # -- reporting --------------------------------------------------------
 
+    def engine_stats(self) -> Dict[str, object]:
+        """Host-side performance of the simulation itself (never part of
+        the bit-identical architectural stats)."""
+        seconds = self.host_seconds
+        return {
+            "name": self.engine,
+            "host_seconds": round(seconds, 6),
+            "sim_cycles_per_host_second":
+                round(self._cycles_simulated / seconds) if seconds > 0 else None,
+            "cycles_simulated": self._cycles_simulated,
+            "ticks_executed": self._ticks_executed,
+            "component_ticks": self._component_ticks,
+            "fast_forwarded_cycles": self._fast_forwarded_cycles,
+        }
+
     def stats(self) -> Dict[str, dict]:
-        out = {c.name: c.stats() for c in self.components if c.stats()}
+        """Architectural stats plus engine metadata.
+
+        Every component is reported (even when its own counters are empty
+        — its channels may still have moved), alongside the unconditional
+        ``cycles`` and ``engine`` keys. Everything except ``engine`` is
+        bit-identical across engines.
+        """
+        out: Dict[str, dict] = {
+            "cycles": self.cycle,
+            "engine": self.engine_stats(),
+        }
+        for component in self.components:
+            out[component.name] = component.stats()
         channels = {
             ch.name: {"pushed": ch.total_pushed, "popped": ch.total_popped,
                       "capacity": ch.capacity, "occupancy": ch.occupancy}
@@ -133,5 +379,5 @@ class Simulator:
         return out
 
     def __repr__(self):
-        return (f"<Simulator {self.name} cycle={self.cycle} "
-                f"{len(self.components)} components>")
+        return (f"<Simulator {self.name} engine={self.engine} "
+                f"cycle={self.cycle} {len(self.components)} components>")

@@ -13,6 +13,7 @@ from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim import (
+    NEVER,
     OBS_BUSY,
     OBS_IDLE,
     OBS_STALL_IN,
@@ -30,7 +31,7 @@ from repro.task.task_queue import (
     TaskEntry,
     TaskQueue,
 )
-from repro.task.txu import TXUTile
+from repro.task.txu import PARKED, TXUTile
 
 #: bound on buffered outbound messages before spawn sites see backpressure
 OUTBOUND_BUFFER = 4
@@ -80,6 +81,11 @@ class TaskUnit(Component):
         self.spawns_issued = 0
         self.first_dispatch_cycle: Optional[int] = None
         self.last_completion_cycle: Optional[int] = None
+        #: last cycle whose tile busy_cycles accounting is complete — the
+        #: event engine may skip ticks while every instance is parked on a
+        #: memory/call response (state frozen), and the dense engine counts
+        #: those as busy tile cycles, so they are caught up in bulk
+        self._synced_to = -1
 
     # -- addresses ---------------------------------------------------------
 
@@ -149,7 +155,17 @@ class TaskUnit(Component):
 
     # -- clocked behaviour -----------------------------------------------------
 
+    def _catch_up(self, through_cycle: int):
+        gap = through_cycle - self._synced_to
+        if gap > 0:
+            for tile in self.tiles:
+                if tile.instances:
+                    tile.busy_cycles += gap
+            self._synced_to = through_cycle
+
     def tick(self, cycle: int):
+        self._catch_up(cycle - 1)
+        self._synced_to = cycle
         self._accept_join(cycle)
         self._accept_spawn(cycle)
         self._dispatch(cycle)
@@ -250,6 +266,39 @@ class TaskUnit(Component):
 
     # -- engine integration -----------------------------------------------
 
+    def sensitivity(self):
+        channels = [self.spawn_in, self.join_in, self.spawn_out, self.join_out]
+        for tile in self.tiles:
+            channels.append(tile.request_out)
+            channels.append(tile.response_in)
+        return tuple(channels)
+
+    def next_wake(self, cycle):
+        # pending joins and root completion advance without any channel
+        # movement, one per cycle
+        if self._join_ready:
+            return cycle + 1
+        # a spawn parked in the network behind a full queue becomes
+        # acceptable the tick after a release — no new push occurs
+        if self.spawn_in.can_pop() and self.queue.has_free_entry():
+            return cycle + 1
+        wake = NEVER
+        has_capacity = False
+        for tile in self.tiles:
+            if tile.has_capacity():
+                has_capacity = True
+            # the tile's timer, computed during its tick: the earliest
+            # instance progress possible without new channel traffic
+            # (PARKED = every live instance is channel-driven)
+            w = tile._min_wake
+            if w < PARKED and w < wake:
+                wake = w
+        if self.queue.has_ready() and has_capacity:
+            return cycle + 1
+        if wake <= cycle:
+            wake = cycle + 1
+        return wake
+
     def is_busy(self):
         if self._spawn_outbuf or self._join_outbuf or self._join_ready:
             return True
@@ -291,6 +340,8 @@ class TaskUnit(Component):
             yield f"{self.name}.tile{tile.tile_index}", state, reason
 
     def stats(self):
+        if self.sim is not None:
+            self._catch_up(self.sim.cycle - 1)
         tile_stats = [t.stats() for t in self.tiles]
         return {
             "spawns_accepted": self.spawns_accepted,

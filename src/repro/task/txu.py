@@ -67,6 +67,11 @@ DEFAULT_LATENCIES = {
 
 _EPILOGUE_NODE = -1  # synthetic node id for the ret_ptr store
 
+#: wake_at value of an instance that can only be unblocked by a memory or
+#: call response (those reset wake_at to 0 on arrival); the task unit's
+#: next_wake treats parked instances as channel-driven, not timer-driven
+PARKED = 1 << 60
+
 RUN = "run"
 EPILOGUE_ISSUE = "epilogue_issue"
 EPILOGUE_WAIT = "epilogue_wait"
@@ -133,6 +138,10 @@ class TXUTile:
         self._spawn_blocked = False
         self.busy_cycles = 0
         self.completed_instances = 0
+        #: earliest cycle any instance on this tile can make progress
+        #: without new channel traffic (PARKED = channel-driven only);
+        #: recomputed every tick, read by TaskUnit.next_wake
+        self._min_wake = PARKED
 
     # -- capacity ------------------------------------------------------------
 
@@ -187,10 +196,20 @@ class TXUTile:
         if self.instances:
             self.busy_cycles += 1
         finished: List[Instance] = []
+        min_wake = PARKED
         for inst in list(self.instances):
-            self._step_instance(inst, cycle)
+            if inst.phase == RUN and cycle < inst.wake_at:
+                # nothing can fire before wake_at — skip without the call
+                # (same early-return _step_instance would take)
+                if inst.wake_at < min_wake:
+                    min_wake = inst.wake_at
+                continue
+            wake = self._step_instance(inst, cycle)
             if inst.phase == DONE:
                 finished.append(inst)
+            elif wake < min_wake:
+                min_wake = wake
+        self._min_wake = min_wake
         for inst in finished:
             self.instances.remove(inst)
             del self._by_uid[inst.uid]
@@ -235,21 +254,28 @@ class TXUTile:
 
     # -- per-instance dataflow step ------------------------------------------
 
-    def _step_instance(self, inst: Instance, cycle: int):
+    def _step_instance(self, inst: Instance, cycle: int) -> int:
+        """Advance one instance; returns its event-engine timer
+        contribution: the earliest cycle it can progress without new
+        channel traffic, or :data:`PARKED` when only channel movement (a
+        memory/call response, a backpressure release) can unblock it."""
         if inst.phase == EPILOGUE_ISSUE:
             self._issue_epilogue_store(inst, cycle)
-            return
+            # either the store was pushed (our own channel movement wakes
+            # the unit) or request_out is full (its pop wakes the unit)
+            return PARKED
         if inst.phase != RUN:
-            return
+            return PARKED  # EPILOGUE_WAIT: response_in wakes the unit
         if cycle < inst.wake_at:
-            return  # fast path: nothing can fire before wake_at
+            return inst.wake_at  # fast path: nothing fires before wake_at
 
         dfg = self.compiled.dfg(inst.block)
         nodes = dfg.nodes
         body_count = len(nodes) - 1  # terminator handled at transition
 
         fired_any = False
-        deferred = False
+        deferred = False     # structural hazard: the node frees next cycle
+        blocked_io = False   # backpressure: a no-op until a channel moves
         for node in nodes[:body_count]:
             idx = node.index
             if idx in inst.node_done or idx in inst.pending_mem or idx in inst.pending_call:
@@ -264,24 +290,33 @@ class TXUTile:
                 self._fired.add(key)
                 fired_any = True
             else:
-                deferred = True  # channel backpressure: retry next cycle
+                blocked_io = True  # full channel/buffer: retry when freed
 
         outcome = self._maybe_transition(inst, dfg, cycle)
         if (fired_any or outcome == "moved") and self.unit.sim is not None:
             self.unit.sim.note_activity()
         if inst.phase != RUN or outcome == "moved" or fired_any or deferred \
-                or outcome == "blocked":
+                or blocked_io or outcome == "blocked":
+            # wake_at stays hot so any unit wake re-steps the instance;
+            # the timer contribution distinguishes real next-cycle work
+            # from backpressure retries that cannot succeed until the
+            # blocking channel moves (which itself wakes the unit)
             inst.wake_at = cycle + 1
-            return
+            if inst.phase != RUN:
+                return PARKED
+            if outcome == "moved" or fired_any or deferred:
+                return cycle + 1
+            return PARKED  # blocked_io / spawn-blocked terminator
         # quiescent: wake when the earliest in-flight node finishes, or on
         # a memory/call response (those reset wake_at to 0 on arrival)
         future = [d for d in inst.node_done.values() if d > cycle]
         if future:
             inst.wake_at = min(future)
         elif inst.pending_mem or inst.pending_call:
-            inst.wake_at = 1 << 60
+            inst.wake_at = PARKED
         else:
             inst.wake_at = cycle + 1
+        return inst.wake_at
 
     def _deps_ready(self, inst: Instance, node, cycle: int) -> bool:
         done = inst.node_done
