@@ -11,32 +11,32 @@ data boxes (or more MSHRs/DRAM bandwidth for the miss-bound codes) —
 which is precisely the kind of insight an ablation is for.
 """
 
-import pytest
+import sweeplib
 
-from dataclasses import replace
-
-from repro.memory.cache import CacheParams
-from repro.reports import bench_record, render_table
+from repro.exp import workload_points
+from repro.reports import render_table, sweep_record
 from repro.workloads import REGISTRY
 
 NAMES = ["matrix_add", "saxpy", "dedup"]
+BANKS = (1, 2, 4)
 
 
-def run_banked(name, banks):
-    workload = REGISTRY.get(name)
-    config = replace(workload.default_config(ntiles=8),
-                     cache=CacheParams(banks=banks))
-    result = workload.run(config=config, scale=2)
-    assert result.correct
-    return result.cycles
+def test_ablation_banked_cache(benchmark, save_result, save_json,
+                               sweep_runner):
+    points = []
+    for banks in BANKS:
+        points += workload_points(NAMES, tiles=(8,), scales=2,
+                                  overrides={"cache": {"banks": banks}})
 
-
-def test_ablation_banked_cache(benchmark, save_result, save_json):
     def run():
-        return {name: {banks: run_banked(name, banks) for banks in (1, 2, 4)}
-                for name in NAMES}
+        return sweeplib.run_points(sweep_runner, points)
 
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    data = {name: {} for name in NAMES}
+    for record in result.records:
+        spec = record["spec"]
+        data[spec["workload"]][spec["overrides"]["cache"]["banks"]] = \
+            record["value"]["cycles"]
 
     rows = []
     for name in NAMES:
@@ -49,9 +49,12 @@ def test_ablation_banked_cache(benchmark, save_result, save_json):
               "box is the real port bottleneck)")
     save_result("ablation_banked_cache", text)
     save_json("ablation_banked_cache", [
-        bench_record(name, config={"ntiles": 8, "banks": banks, "scale": 2},
-                     cycles=data[name][banks])
-        for name in NAMES for banks in (1, 2, 4)])
+        sweep_record(record, record["spec"]["workload"],
+                     config={"ntiles": 8,
+                             "banks": record["spec"]["overrides"][
+                                 "cache"]["banks"],
+                             "scale": 2})
+        for record in result.records], sweep=result.summary)
 
     for name in NAMES:
         d = data[name]

@@ -6,16 +6,17 @@ would eliminate them. This quantifies it on mergesort, whose serial
 `merge` runs once per recursion node through a call round trip.
 """
 
-import pytest
+import sweeplib
 
 from repro.accel import build_accelerator
+from repro.exp import register_evaluator
 from repro.ir.types import I32
 from repro.passes import inline_calls, prune_unreachable_functions
-from repro.reports import bench_record, render_table
+from repro.reports import render_table, sweep_record
 from repro.workloads import Mergesort
 
 
-def run_mergesort(module, n=64):
+def _run_mergesort(module, n):
     import random
 
     accel = build_accelerator(module, Mergesort().default_config())
@@ -27,26 +28,44 @@ def run_mergesort(module, n=64):
     return result.cycles, len(accel.units)
 
 
-def test_ablation_inline_serial_callees(benchmark, save_result, save_json):
-    def run():
-        workload = Mergesort()
-        baseline = run_mergesort(workload.fresh_module())
-        inlined_module = workload.fresh_module()
-        inline_calls(inlined_module, max_insts=200)
-        prune_unreachable_functions(inlined_module, ["mergesort"])
-        inlined = run_mergesort(inlined_module)
-        return {"spawn merge unit": baseline, "inline merge": inlined}
+def _eval_inlining(spec):
+    workload = Mergesort()
+    module = workload.fresh_module()
+    if spec["variant"] == "inline merge":
+        inline_calls(module, max_insts=200)
+        prune_unreachable_functions(module, ["mergesort"])
+    cycles, units = _run_mergesort(module, spec["n"])
+    return {"cycles": cycles, "task_units": units}
 
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+register_evaluator("ablation_inlining", _eval_inlining,
+                   program_text=sweeplib.file_program_text(__file__))
+
+
+def test_ablation_inline_serial_callees(benchmark, save_result, save_json,
+                                        sweep_runner):
+    points = [{"evaluator": "ablation_inlining", "variant": variant,
+               "n": 64}
+              for variant in ("spawn merge unit", "inline merge")]
+
+    def run():
+        return sweeplib.run_points(sweep_runner, points)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    data = {record["spec"]["variant"]:
+            (record["value"]["cycles"], record["value"]["task_units"])
+            for record in result.records}
+
     rows = [[name, cycles, units] for name, (cycles, units) in data.items()]
     text = render_table(["Configuration", "cycles", "task units"], rows,
                         title="Ablation — inlining the serial merge "
                               "(paper §VI: eliminate task controllers)")
     save_result("ablation_inlining", text)
     save_json("ablation_inlining", [
-        bench_record("mergesort", config={"variant": name, "n": 64},
-                     cycles=cycles, task_units=units)
-        for name, (cycles, units) in data.items()])
+        sweep_record(record, "mergesort",
+                     config={"variant": record["spec"]["variant"], "n": 64},
+                     task_units=record["value"]["task_units"])
+        for record in result.records], sweep=result.summary)
 
     base_cycles, base_units = data["spawn merge unit"]
     inl_cycles, inl_units = data["inline merge"]

@@ -7,33 +7,32 @@ this quantifies what the cache's miss handling costs on regular kernels
 (data conveniently preloaded), i.e. the gap streaming HLS flows exploit.
 """
 
-import pytest
+import sweeplib
 
-from dataclasses import replace
-
-from repro.reports import bench_record, render_table
+from repro.exp import workload_points
+from repro.reports import render_table, sweep_record
 from repro.workloads import REGISTRY
 
 NAMES = ["matrix_add", "saxpy", "stencil", "dedup"]
+MODELS = ("cache", "scratchpad")
 
 
-def run_with_model(name, model):
-    workload = REGISTRY.get(name)
-    config = replace(workload.default_config(ntiles=4), memory_model=model)
-    result = workload.run(config=config, scale=2)
-    assert result.correct, f"{name} wrong under {model}"
-    return result.cycles
+def test_ablation_cache_vs_scratchpad(benchmark, save_result, save_json,
+                                      sweep_runner):
+    points = []
+    for model in MODELS:
+        points += workload_points(NAMES, tiles=(4,), scales=2,
+                                  overrides={"memory_model": model})
 
-
-def test_ablation_cache_vs_scratchpad(benchmark, save_result, save_json):
     def run():
-        return {
-            name: {model: run_with_model(name, model)
-                   for model in ("cache", "scratchpad")}
-            for name in NAMES
-        }
+        return sweeplib.run_points(sweep_runner, points)
 
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    data = {name: {} for name in NAMES}
+    for record in result.records:
+        spec = record["spec"]
+        data[spec["workload"]][spec["overrides"]["memory_model"]] = \
+            record["value"]["cycles"]
 
     rows = []
     for name in NAMES:
@@ -45,10 +44,12 @@ def test_ablation_cache_vs_scratchpad(benchmark, save_result, save_json):
         rows, title="Ablation — cache vs scratchpad memory model")
     save_result("ablation_memory_model", text)
     save_json("ablation_memory_model", [
-        bench_record(name,
-                     config={"ntiles": 4, "memory_model": model, "scale": 2},
-                     cycles=data[name][model])
-        for name in NAMES for model in ("cache", "scratchpad")])
+        sweep_record(record, record["spec"]["workload"],
+                     config={"ntiles": 4,
+                             "memory_model": record["spec"]["overrides"][
+                                 "memory_model"],
+                             "scale": 2})
+        for record in result.records], sweep=result.summary)
 
     for name in NAMES:
         # deterministic SRAM is never slower than the miss-taking cache

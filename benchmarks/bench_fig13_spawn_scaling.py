@@ -5,16 +5,20 @@ monotonically with 1-5 worker tiles for every task grain (10-50 adders),
 peaking around 1750 Madds/s at 50 adders; the Cilk "Software" line on a
 4-core i7 stays flat because runtime spawn overhead swamps such tiny
 tasks. §V-A's headline: a task spawns in ~10 cycles, ~40 M spawns/s.
+
+Both the 25-point FPGA grid and the software baseline run through the
+SweepRunner (the headline test replays its point from the grid's cache).
 """
 
-import pytest
+import sweeplib
 
 from repro.accel import AcceleratorConfig, TaskUnitParams, build_accelerator
 from repro.baselines import MulticoreCPU
+from repro.exp import register_evaluator
 from repro.frontend import compile_source
 from repro.ir.types import I32
 from repro.memory.backing import MainMemory
-from repro.reports import bench_record, render_series
+from repro.reports import render_series, sweep_record
 from repro.workloads import ScaleMicro
 
 TILE_COUNTS = [1, 2, 3, 4, 5]
@@ -65,19 +69,45 @@ def software_madds_per_s(work_ops: int) -> float:
     return adds / result.time_seconds(cpu.model) / 1e6
 
 
-def test_fig13_performance_scaling(benchmark, save_result, save_json):
-    def run():
-        table = {}
-        cycles = {}
-        for adders in ADDER_COUNTS:
-            pairs = [fpga_madds_per_s(adders, tiles)
-                     for tiles in TILE_COUNTS]
-            table[adders] = [p[0] for p in pairs]
-            cycles[adders] = [p[1] for p in pairs]
-        software = {a: software_madds_per_s(a) for a in ADDER_COUNTS}
-        return table, cycles, software
+def _eval_fig13(spec):
+    if spec["side"] == "software":
+        return {"madds_per_s": software_madds_per_s(spec["adders"]),
+                "cycles": None}
+    madds, cycles = fpga_madds_per_s(spec["adders"], spec["tiles"])
+    return {"madds_per_s": madds, "cycles": cycles}
 
-    table, cycles, software = benchmark.pedantic(run, rounds=1, iterations=1)
+
+register_evaluator("fig13_spawn", _eval_fig13,
+                   program_text=sweeplib.file_program_text(__file__))
+
+
+def _fpga_point(adders, tiles):
+    return {"evaluator": "fig13_spawn", "side": "fpga",
+            "adders": adders, "tiles": tiles}
+
+
+def test_fig13_performance_scaling(benchmark, save_result, save_json,
+                                   sweep_runner):
+    points = [_fpga_point(adders, tiles)
+              for adders in ADDER_COUNTS for tiles in TILE_COUNTS]
+    points += [{"evaluator": "fig13_spawn", "side": "software",
+                "adders": adders} for adders in ADDER_COUNTS]
+
+    def run():
+        return sweeplib.run_points(sweep_runner, points)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = {adders: [] for adders in ADDER_COUNTS}
+    cycles = {adders: [] for adders in ADDER_COUNTS}
+    software = {}
+    for record in result.records:
+        spec, value = record["spec"], record["value"]
+        if spec["side"] == "software":
+            software[spec["adders"]] = value["madds_per_s"]
+        else:
+            table[spec["adders"]].append(value["madds_per_s"])
+            cycles[spec["adders"]].append(value["cycles"])
 
     series = [(f"{a} adders", [round(v, 1) for v in table[a]])
               for a in ADDER_COUNTS]
@@ -88,17 +118,20 @@ def test_fig13_performance_scaling(benchmark, save_result, save_json):
         "(million adds/s, Arria 10 @300 MHz)",
         "tiles", TILE_COUNTS, series)
     save_result("fig13_spawn_scaling", text)
-    records = [bench_record("scale_micro",
-                            config={"tiles": tiles, "adders": adders},
-                            cycles=cycles[adders][i],
-                            madds_per_s=round(table[adders][i], 1))
-               for adders in ADDER_COUNTS
-               for i, tiles in enumerate(TILE_COUNTS)]
-    records += [bench_record("scale_micro_software",
-                             config={"cores": 4, "adders": adders},
-                             madds_per_s=round(software[adders], 1))
-                for adders in ADDER_COUNTS]
-    save_json("fig13_spawn_scaling", records)
+    records = []
+    for record in result.records:
+        spec, value = record["spec"], record["value"]
+        if spec["side"] == "software":
+            records.append(sweep_record(
+                record, "scale_micro_software",
+                config={"cores": 4, "adders": spec["adders"]},
+                madds_per_s=round(value["madds_per_s"], 1)))
+        else:
+            records.append(sweep_record(
+                record, "scale_micro",
+                config={"tiles": spec["tiles"], "adders": spec["adders"]},
+                madds_per_s=round(value["madds_per_s"], 1)))
+    save_json("fig13_spawn_scaling", records, sweep=result.summary)
 
     # paper shape 1: monotone scaling with tiles for every grain
     for adders in ADDER_COUNTS:
@@ -114,24 +147,26 @@ def test_fig13_performance_scaling(benchmark, save_result, save_json):
     assert max(table[50]) > 1000
 
 
-def test_fig13_spawn_rate_headline(benchmark, save_result, save_json):
+def test_fig13_spawn_rate_headline(benchmark, save_result, save_json,
+                                   sweep_runner):
     """§V-A headline: tens of millions of spawns per second, i.e. a task
     spawned every ~10 cycles."""
 
     def run():
-        _madds, cycles = fpga_madds_per_s(10, 5)
-        return cycles
+        return sweeplib.run_points(sweep_runner, [_fpga_point(10, 5)])
 
-    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    cycles = result.values[0]["cycles"]
     cycles_per_spawn = cycles / N_TASKS
     spawns_per_s = N_TASKS / (cycles / (ARRIA_MHZ * 1e6))
     text = (f"Fig 13 headline: {cycles_per_spawn:.1f} cycles/spawn "
             f"-> {spawns_per_s/1e6:.1f} M spawns/s at {ARRIA_MHZ:.0f} MHz "
             f"(paper: ~10 cycles, ~40 M spawns/s)")
     save_result("fig13_spawn_rate", text)
-    save_json("fig13_spawn_rate", [bench_record(
-        "scale_micro", config={"tiles": 5, "adders": 10}, cycles=cycles,
+    save_json("fig13_spawn_rate", [sweep_record(
+        result.records[0], "scale_micro",
+        config={"tiles": 5, "adders": 10},
         cycles_per_spawn=round(cycles_per_spawn, 1),
-        spawns_per_s=round(spawns_per_s))])
+        spawns_per_s=round(spawns_per_s))], sweep=result.summary)
     assert cycles_per_spawn < 15
     assert spawns_per_s > 20e6

@@ -6,36 +6,48 @@ at 50 ops/task the overhead is ~20%; at 10 tiles the control overhead is
 amortised to a sliver (~3%) and the memory network stays under 10%.
 """
 
-import pytest
+import sweeplib
 
 from repro.accel import AcceleratorConfig, TaskUnitParams, build_accelerator
-from repro.reports import bench_record, estimate_resources, render_table
+from repro.exp import register_evaluator
+from repro.reports import estimate_resources, render_table, sweep_record
 from repro.workloads import ScaleMicro
 
 CONFIGS = [(1, 1), (1, 50), (10, 1), (10, 50)]
 
 
-def breakdown_for(tiles: int, ins: int):
-    workload = ScaleMicro(work_ops=ins)
+def _eval_fig14(spec):
+    workload = ScaleMicro(work_ops=spec["ins"])
     config = AcceleratorConfig(unit_params={
         "scale": TaskUnitParams(ntiles=1),
-        "scale.t0": TaskUnitParams(ntiles=tiles),
+        "scale.t0": TaskUnitParams(ntiles=spec["tiles"]),
     })
     accel = build_accelerator(workload.fresh_module(), config)
     report = estimate_resources(accel)
-    return report.breakdown(), report.alms
+    return {"breakdown": report.breakdown(), "alms": report.alms}
 
 
-def test_fig14_alm_breakdown(benchmark, save_result, save_json):
+register_evaluator("fig14_alm_breakdown", _eval_fig14,
+                   program_text=sweeplib.file_program_text(__file__))
+
+
+def test_fig14_alm_breakdown(benchmark, save_result, save_json,
+                             sweep_runner):
+    points = [{"evaluator": "fig14_alm_breakdown", "tiles": tiles,
+               "ins": ins} for tiles, ins in CONFIGS]
+
     def run():
-        return {cfg: breakdown_for(*cfg) for cfg in CONFIGS}
+        return sweeplib.run_points(sweep_runner, points)
 
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
 
     rows = []
     shares = {}
-    for (tiles, ins), (breakdown, total) in data.items():
-        pct = {k: 100.0 * v / total for k, v in breakdown.items()}
+    for record in result.records:
+        spec, value = record["spec"], record["value"]
+        tiles, ins = spec["tiles"], spec["ins"]
+        total = value["alms"]
+        pct = {k: 100.0 * v / total for k, v in value["breakdown"].items()}
         shares[(tiles, ins)] = pct
         rows.append([f"{tiles}T/{ins}Ins",
                      round(pct["tiles"], 1),
@@ -48,12 +60,15 @@ def test_fig14_alm_breakdown(benchmark, save_result, save_json):
         rows, title="Figure 14 — ALM utilisation by sub-block")
     save_result("fig14_alm_breakdown", text)
     save_json("fig14_alm_breakdown", [
-        bench_record("scale_micro",
-                     config={"tiles": tiles, "instructions": ins},
-                     total_alms=total,
-                     **{f"{k}_pct": round(v, 1)
-                        for k, v in shares[(tiles, ins)].items()})
-        for (tiles, ins), (_breakdown, total) in data.items()])
+        sweep_record(
+            record, "scale_micro",
+            config={"tiles": record["spec"]["tiles"],
+                    "instructions": record["spec"]["ins"]},
+            total_alms=record["value"]["alms"],
+            **{f"{k}_pct": round(v, 1)
+               for k, v in shares[(record["spec"]["tiles"],
+                                   record["spec"]["ins"])].items()})
+        for record in result.records], sweep=result.summary)
 
     def overhead(cfg):
         pct = shares[cfg]

@@ -5,11 +5,16 @@ Paper result: every benchmark except Dedup speeds up with tiles
 four-unit pipeline and the stages are balanced. Saxpy and matrix-add
 gain a step from the second tile then saturate on cache bandwidth;
 Stencil is compute-heavy and keeps scaling to 8 tiles.
+
+The whole grid runs through the SweepRunner: workload x tiles points
+fan out over worker processes and land in the content-addressed result
+cache, so a re-run of an unchanged tree replays from disk.
 """
 
-import pytest
+import sweeplib
 
-from repro.reports import bench_record, render_series
+from repro.exp import workload_points
+from repro.reports import render_series, sweep_record
 from repro.workloads import REGISTRY
 
 TILES = [1, 2, 4, 8]
@@ -17,48 +22,49 @@ SCALES = {"matrix_add": 2, "image_scale": 2, "saxpy": 2, "stencil": 2,
           "dedup": 2, "mergesort": 2, "fibonacci": 2}
 
 
-def sweep(name):
-    workload = REGISTRY.get(name)
-    cycles = {}
-    engines = {}
-    for tiles in TILES:
-        result = workload.run(config=workload.default_config(ntiles=tiles),
-                              scale=SCALES[name])
-        assert result.correct, f"{name} wrong at {tiles} tiles"
-        cycles[tiles] = result.cycles
-        engines[tiles] = result.stats.get("engine")
-    return cycles, engines
+def test_fig15_tile_scaling(benchmark, save_result, save_json, sweep_runner):
+    names = REGISTRY.names()
+    points = workload_points(names, tiles=TILES, scales=SCALES)
 
-
-def test_fig15_tile_scaling(benchmark, save_result, save_json):
     def run():
-        return {name: sweep(name) for name in REGISTRY.names()}
+        return sweeplib.run_points(sweep_runner, points)
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    data = {name: cycles for name, (cycles, _) in results.items()}
-    engines = {name: engine for name, (_, engine) in results.items()}
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    data = {name: {} for name in names}
+    engines = {name: {} for name in names}
+    for record in result.records:
+        value = record["value"]
+        assert value["correct"], f"{value['workload']} wrong result"
+        data[value["workload"]][value["tiles"]] = value["cycles"]
+        engines[value["workload"]][value["tiles"]] = \
+            (value["stats"] or {}).get("engine")
 
     speedups = {
         name: [cycles[1] / cycles[t] for t in TILES]
         for name, cycles in data.items()
     }
     series = [(name, [round(s, 2) for s in speedups[name]])
-              for name in REGISTRY.names()]
+              for name in names]
     text = render_series(
         "Figure 15 — Normalised performance vs tiles/task (1 tile = 1.0)",
         "tiles", TILES, series)
     save_result("fig15_tile_scaling", text)
     save_json("fig15_tile_scaling", [
-        bench_record(name, config={"ntiles": tiles, "scale": SCALES[name]},
-                     cycles=data[name][tiles], engine=engines[name][tiles],
-                     speedup=round(data[name][1] / data[name][tiles], 2))
-        for name in REGISTRY.names() for tiles in TILES])
+        sweep_record(
+            record, record["value"]["workload"],
+            config={"ntiles": record["value"]["tiles"],
+                    "scale": record["spec"]["scale"]},
+            speedup=round(
+                data[record["value"]["workload"]][1]
+                / record["value"]["cycles"], 2))
+        for record in result.records], sweep=result.summary)
 
     # paper shape: everything except dedup gains from extra tiles.
     # (Our shared L1 accepts one request/cycle, so the memory-bound codes
     # saturate slightly earlier than on the paper's AXI system — the
     # paper itself attributes their saturation to cache bandwidth.)
-    for name in REGISTRY.names():
+    for name in names:
         if name == "dedup":
             continue
         assert max(speedups[name]) > 1.04, f"{name} did not scale"

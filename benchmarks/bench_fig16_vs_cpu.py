@@ -8,16 +8,17 @@ two robust shapes: Dedup's hardware pipeline is the best case and
 memory-bound mergesort is the worst.
 """
 
-import pytest
+import sweeplib
 
 from repro.accel import ARRIA_10, CYCLONE_V
 from repro.baselines import MulticoreCPU
+from repro.exp import register_evaluator
 from repro.memory.backing import MainMemory
 from repro.reports import (
-    bench_record,
     estimate_mhz,
     estimate_resources,
     render_table,
+    sweep_record,
 )
 from repro.workloads import REGISTRY
 
@@ -30,18 +31,19 @@ PAPER_ARRIA = {"matrix_add": 1.2, "stencil": 0.8, "saxpy": 1.2,
                "mergesort": 0.1}
 
 
-def measure(name):
+def _eval_fig16(spec):
+    name = spec["workload"]
     workload = REGISTRY.get(name)
-    config = workload.default_config(ntiles=4)  # 4 tiles vs 4 cores
+    config = workload.default_config(ntiles=spec["tiles"])
     accel = workload.build(config)
-    prepared = workload.prepare(accel.memory, SCALE)
+    prepared = workload.prepare(accel.memory, spec["scale"])
     result = accel.run(prepared.function, prepared.args)
     assert prepared.check(accel.memory, result.retval), name
     alms = estimate_resources(accel).alms
 
     memory = MainMemory(1 << 22)
     cpu = MulticoreCPU(workload.fresh_module(), memory)
-    cpu_prep = workload.prepare(memory, SCALE)
+    cpu_prep = workload.prepare(memory, spec["scale"])
     cpu_result = cpu.run(cpu_prep.function, cpu_prep.args)
     assert cpu_prep.check(memory, cpu_result.retval), name
 
@@ -51,14 +53,25 @@ def measure(name):
         mhz = estimate_mhz(board, alms)
         fpga_seconds = result.cycles / (mhz * 1e6)
         gains[board.name] = cpu_seconds / fpga_seconds
-    return gains
+    return {"cycles": result.cycles, "gains": gains}
 
 
-def test_fig16_performance_vs_i7(benchmark, save_result, save_json):
+register_evaluator("fig16_vs_cpu", _eval_fig16,
+                   program_text=sweeplib.file_program_text(__file__))
+
+
+def test_fig16_performance_vs_i7(benchmark, save_result, save_json,
+                                 sweep_runner):
+    points = [{"evaluator": "fig16_vs_cpu", "workload": name,
+               "tiles": 4, "scale": SCALE}  # 4 tiles vs 4 cores
+              for name in REGISTRY.names()]
+
     def run():
-        return {name: measure(name) for name in REGISTRY.names()}
+        return sweeplib.run_points(sweep_runner, points)
 
-    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    gains = {record["spec"]["workload"]: record["value"]["gains"]
+             for record in result.records}
 
     rows = []
     for name in REGISTRY.names():
@@ -73,12 +86,16 @@ def test_fig16_performance_vs_i7(benchmark, save_result, save_json):
         title="Figure 16 — Performance vs Intel i7 (>1 means FPGA faster)")
     save_result("fig16_vs_cpu", text)
     save_json("fig16_vs_cpu", [
-        bench_record(name, config={"ntiles": 4, "scale": SCALE},
-                     cyclone_v_gain=round(gains[name][CYCLONE_V.name], 2),
-                     arria_10_gain=round(gains[name][ARRIA_10.name], 2),
-                     paper_cyclone_v=PAPER_CYCLONE[name],
-                     paper_arria_10=PAPER_ARRIA[name])
-        for name in REGISTRY.names()])
+        sweep_record(
+            record, record["spec"]["workload"],
+            config={"ntiles": 4, "scale": SCALE},
+            cyclone_v_gain=round(
+                record["value"]["gains"][CYCLONE_V.name], 2),
+            arria_10_gain=round(
+                record["value"]["gains"][ARRIA_10.name], 2),
+            paper_cyclone_v=PAPER_CYCLONE[record["spec"]["workload"]],
+            paper_arria_10=PAPER_ARRIA[record["spec"]["workload"]])
+        for record in result.records], sweep=result.summary)
 
     cyclone = {n: gains[n][CYCLONE_V.name] for n in gains}
     arria = {n: gains[n][ARRIA_10.name] for n in gains}

@@ -7,19 +7,20 @@ structural: ~1 W accelerators vs a ~50 W CPU package at comparable
 performance.
 """
 
-import pytest
+import sweeplib
 
 from repro.accel import ARRIA_10, CYCLONE_V
 from repro.baselines import MulticoreCPU
+from repro.exp import register_evaluator
 from repro.memory.backing import MainMemory
 from repro.reports import (
-    bench_record,
     cpu_power_watts,
     estimate_mhz,
     estimate_resources,
     fpga_power_watts,
     perf_per_watt_gain,
     render_table,
+    sweep_record,
 )
 from repro.workloads import REGISTRY
 
@@ -32,17 +33,18 @@ PAPER = {  # (Cyclone V, Arria 10) perf/W gains from Fig 17
 }
 
 
-def measure(name):
+def _eval_fig17(spec):
+    name = spec["workload"]
     workload = REGISTRY.get(name)
-    accel = workload.build(workload.default_config(ntiles=4))
-    prepared = workload.prepare(accel.memory, SCALE)
+    accel = workload.build(workload.default_config(ntiles=spec["tiles"]))
+    prepared = workload.prepare(accel.memory, spec["scale"])
     result = accel.run(prepared.function, prepared.args)
     assert prepared.check(accel.memory, result.retval), name
     report = estimate_resources(accel)
 
     memory = MainMemory(1 << 22)
     cpu = MulticoreCPU(workload.fresh_module(), memory)
-    cpu_prep = workload.prepare(memory, SCALE)
+    cpu_prep = workload.prepare(memory, spec["scale"])
     cpu_result = cpu.run(cpu_prep.function, cpu_prep.args)
     cpu_seconds = cpu_result.time_seconds(cpu.model)
 
@@ -53,14 +55,25 @@ def measure(name):
         watts = fpga_power_watts(report.alms, report.brams, mhz)
         gains[board.name] = perf_per_watt_gain(
             fpga_seconds, watts, cpu_seconds, cpu_power_watts())
-    return gains
+    return {"cycles": result.cycles, "gains": gains}
 
 
-def test_fig17_perf_per_watt(benchmark, save_result, save_json):
+register_evaluator("fig17_perf_per_watt", _eval_fig17,
+                   program_text=sweeplib.file_program_text(__file__))
+
+
+def test_fig17_perf_per_watt(benchmark, save_result, save_json,
+                             sweep_runner):
+    points = [{"evaluator": "fig17_perf_per_watt", "workload": name,
+               "tiles": 4, "scale": SCALE}
+              for name in REGISTRY.names()]
+
     def run():
-        return {name: measure(name) for name in REGISTRY.names()}
+        return sweeplib.run_points(sweep_runner, points)
 
-    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    gains = {record["spec"]["workload"]: record["value"]["gains"]
+             for record in result.records}
 
     rows = []
     for name in REGISTRY.names():
@@ -74,14 +87,16 @@ def test_fig17_perf_per_watt(benchmark, save_result, save_json):
         title="Figure 17 — Perf/Watt vs Intel i7 (>1 means FPGA better)")
     save_result("fig17_perf_per_watt", text)
     save_json("fig17_perf_per_watt", [
-        bench_record(name, config={"ntiles": 4, "scale": SCALE},
-                     cyclone_v_perf_per_watt=round(
-                         gains[name][CYCLONE_V.name], 1),
-                     arria_10_perf_per_watt=round(
-                         gains[name][ARRIA_10.name], 1),
-                     paper_cyclone_v=PAPER[name][0],
-                     paper_arria_10=PAPER[name][1])
-        for name in REGISTRY.names()])
+        sweep_record(
+            record, record["spec"]["workload"],
+            config={"ntiles": 4, "scale": SCALE},
+            cyclone_v_perf_per_watt=round(
+                record["value"]["gains"][CYCLONE_V.name], 1),
+            arria_10_perf_per_watt=round(
+                record["value"]["gains"][ARRIA_10.name], 1),
+            paper_cyclone_v=PAPER[record["spec"]["workload"]][0],
+            paper_arria_10=PAPER[record["spec"]["workload"]][1])
+        for record in result.records], sweep=result.summary)
 
     cyclone = {n: gains[n][CYCLONE_V.name] for n in gains}
 

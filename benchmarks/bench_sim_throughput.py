@@ -9,68 +9,106 @@ workloads, where most cycles are DRAM-latency quiet spans.
 Configurations:
 
 * ``fib`` / ``mergesort`` / ``stencil`` — default configs: activity is
-  dense (something fires almost every cycle), so the event engine's win
-  is modest and can even be a small loss on fib. Reported honestly.
+  dense (something fires almost every cycle), so there is little to
+  skip. The engine's hot-set scheduling and adaptive dense fallback
+  must hold its overhead under 5% of the dense oracle here.
 * ``saxpy-membound`` — 1 KB cache, a single MSHR (the paper's §VI notes
   TAPAS has limited support for multiple outstanding misses), 270-cycle
   DRAM latency (the paper's Table V DRAM access time). Nearly every
   cycle is a quiet DRAM wait: the regime the fast-forward optimisation
   targets. Gate: >= 5x speedup.
+
+The cases run through the SweepRunner like every other bench, but with
+the result cache disabled and a single worker: this bench measures host
+wall-clock, which a cache hit would skip and parallel workers would
+perturb.
 """
 
 import time
 
-from repro.accel import ARRIA_10
-from repro.memory.cache import CacheParams
-from repro.reports import bench_record, render_table
+import sweeplib
+
+from repro.exp import config_from_spec, register_evaluator
+from repro.reports import render_table, sweep_record
 from repro.workloads import REGISTRY
 
-#: (row name, workload, scale, config overrides)
+#: (row name, workload, scale, plain-JSON config overrides)
 CASES = [
     ("fib", "fibonacci", 2, {}),
     ("mergesort", "mergesort", 2, {}),
     ("stencil", "stencil", 2, {}),
     ("saxpy-membound", "saxpy", 16,
-     {"board": ARRIA_10,
-      "cache": CacheParams(size_bytes=1024, mshr_count=1),
+     {"board": "Arria 10",
+      "cache": {"size_bytes": 1024, "mshr_count": 1},
       "dram_latency_cycles": 270}),
 ]
 
 #: wall-clock gate for the memory-bound case (observers detached)
 MEMBOUND_MIN_SPEEDUP = 5.0
 
+#: even on always-hot workloads (fib: something fires nearly every
+#: cycle) the event engine's hot-set scheduling must keep its overhead
+#: under 5% of the dense oracle
+ALWAYS_HOT_MIN_SPEEDUP = 0.95
 
-def _measure(name, scale, overrides, tiles, engine):
-    workload = REGISTRY.get(name)
-    config = workload.default_config(tiles, engine=engine, **overrides)
-    start = time.perf_counter()
-    result = workload.run(config, scale=scale)
-    seconds = time.perf_counter() - start
-    assert result.correct, f"{name} wrong under {engine}"
-    return result, seconds
+
+#: wall-clock repetitions per (case, engine); best-of damps allocator
+#: warm-up and scheduler noise, which on a shared single-core host
+#: swamps the few percent the always-hot gate is about
+MEASURE_REPS = 5
+
+
+def _eval_throughput_case(spec):
+    """Best-of-N seconds for both engines, repetitions interleaved:
+    host noise is time-correlated, so alternating dense/event inside
+    each rep exposes both engines to the same noisy patches instead of
+    letting one engine soak up a slow spell alone."""
+    workload = REGISTRY.get(spec["workload"])
+    best = {}
+    results = {}
+    for _ in range(MEASURE_REPS):
+        for engine in ("dense", "event"):
+            config = config_from_spec(workload, dict(spec, engine=engine))
+            start = time.perf_counter()
+            result = workload.run(config, scale=spec["scale"])
+            seconds = time.perf_counter() - start
+            assert result.correct, f"{spec['case']} wrong under {engine}"
+            if engine not in best or seconds < best[engine]:
+                best[engine] = seconds
+                results[engine] = result
+    dense, event = results["dense"], results["event"]
+    assert dense.cycles == event.cycles, spec["case"]
+    engine_stats = event.stats["engine"]
+    return {
+        "name": spec["case"], "workload": spec["workload"],
+        "scale": spec["scale"],
+        "cycles": event.cycles,
+        "dense_seconds": best["dense"], "event_seconds": best["event"],
+        "speedup": (best["dense"] / best["event"]
+                    if best["event"] else float("inf")),
+        "ticks_executed": engine_stats["ticks_executed"],
+        "fast_forwarded_cycles": engine_stats["fast_forwarded_cycles"],
+        "stats": event.stats,
+        "dense_stats": dense.stats["engine"],
+    }
+
+
+register_evaluator("sim_throughput", _eval_throughput_case,
+                   program_text=sweeplib.file_program_text(__file__))
 
 
 def test_sim_throughput(benchmark, save_result, save_json):
-    def run():
-        rows = []
-        for row_name, workload, scale, overrides in CASES:
-            dense, dense_s = _measure(workload, scale, overrides, 2, "dense")
-            event, event_s = _measure(workload, scale, overrides, 2, "event")
-            assert dense.cycles == event.cycles, row_name
-            engine = event.stats["engine"]
-            rows.append({
-                "name": row_name, "workload": workload, "scale": scale,
-                "cycles": event.cycles,
-                "dense_seconds": dense_s, "event_seconds": event_s,
-                "speedup": dense_s / event_s if event_s else float("inf"),
-                "ticks_executed": engine["ticks_executed"],
-                "fast_forwarded_cycles": engine["fast_forwarded_cycles"],
-                "event_stats": engine,
-                "dense_stats": dense.stats["engine"],
-            })
-        return rows
+    runner = sweeplib.make_runner(jobs=1, cache=None)
+    points = [{"evaluator": "sim_throughput", "case": case,
+               "workload": workload, "tiles": 2, "scale": scale,
+               "overrides": overrides}
+              for case, workload, scale, overrides in CASES]
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    def run():
+        return sweeplib.run_points(runner, points)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = result.values
 
     table = render_table(
         ["Case", "Cycles", "Dense s", "Event s", "Speedup",
@@ -82,16 +120,18 @@ def test_sim_throughput(benchmark, save_result, save_json):
         title="Simulator throughput — dense oracle vs event-driven kernel")
     save_result("sim_throughput", table)
     save_json("sim_throughput", [
-        bench_record(r["workload"],
-                     config={"ntiles": 2, "scale": r["scale"],
-                             "case": r["name"]},
-                     cycles=r["cycles"], engine=r["event_stats"],
-                     dense_host_seconds=round(r["dense_seconds"], 6),
-                     event_host_seconds=round(r["event_seconds"], 6),
-                     speedup=round(r["speedup"], 2),
-                     ticks_executed=r["ticks_executed"],
-                     fast_forwarded_cycles=r["fast_forwarded_cycles"])
-        for r in rows])
+        sweep_record(record, record["value"]["workload"],
+                     config={"ntiles": 2, "scale": record["value"]["scale"],
+                             "case": record["value"]["name"]},
+                     dense_host_seconds=round(
+                         record["value"]["dense_seconds"], 6),
+                     event_host_seconds=round(
+                         record["value"]["event_seconds"], 6),
+                     speedup=round(record["value"]["speedup"], 2),
+                     ticks_executed=record["value"]["ticks_executed"],
+                     fast_forwarded_cycles=record["value"][
+                         "fast_forwarded_cycles"])
+        for record in result.records], sweep=result.summary)
 
     by_name = {r["name"]: r for r in rows}
     membound = by_name["saxpy-membound"]
@@ -100,7 +140,12 @@ def test_sim_throughput(benchmark, save_result, save_json):
         f"memory-bound speedup {membound['speedup']:.2f}x "
         f"< {MEMBOUND_MIN_SPEEDUP}x")
     assert membound["fast_forwarded_cycles"] > membound["cycles"] // 2
-    # dense-activity workloads must at least not regress badly: the
-    # event engine's overhead on always-hot designs stays bounded
+    # dense-activity workloads must not regress: hot-set scheduling
+    # (steadily-active components are ticked straight off a flat list,
+    # never re-enqueued per cycle) plus the adaptive dense fallback
+    # (oracle stepping whenever a sampling window shows nothing to
+    # skip) keep the event engine within 5% of the dense oracle
     for name in ("fib", "mergesort", "stencil"):
-        assert by_name[name]["speedup"] > 0.5, name
+        assert by_name[name]["speedup"] >= ALWAYS_HOT_MIN_SPEEDUP, (
+            f"{name}: event engine {by_name[name]['speedup']:.2f}x dense "
+            f"< {ALWAYS_HOT_MIN_SPEEDUP}x on an always-hot workload")

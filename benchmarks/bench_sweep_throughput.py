@@ -1,0 +1,111 @@
+"""Sweep-runner throughput: parallel fan-out and warm-cache replay.
+
+Not a paper figure — this measures the experiment infrastructure
+itself, on the Figure 15 grid (7 workloads x 4 tile counts = 28
+simulation points):
+
+* sequential cold: one point at a time, no cache — the pre-sweep
+  baseline every benchmark used to be;
+* parallel cold: 4 workers into an empty content-addressed cache;
+* warm: the same grid again — every point must replay from disk.
+
+Gates: the warm re-run must beat the sequential cold run by >= 10x
+(this holds on any host — it is pure cache mechanics), and with >= 4
+CPUs the 4-worker cold run must beat sequential by >= 3x (on fewer
+cores there is no parallelism to win, so the gate is informational
+only). Cached replays must be field-identical to the fresh records.
+"""
+
+import os
+import time
+
+import bench_fig15_tile_scaling as fig15
+import sweeplib
+
+from repro.exp import ResultCache, SweepRunner, workload_points
+from repro.reports import bench_record, render_table
+from repro.workloads import REGISTRY
+
+#: 4-worker cold-sweep gate (only enforced when the host has the cores)
+COLD_PARALLEL_MIN_SPEEDUP = 3.0
+PARALLEL_JOBS = 4
+
+#: warm-replay gate vs the sequential cold run (host-independent)
+WARM_MIN_SPEEDUP = 10.0
+
+
+def _timed(runner, points):
+    start = time.perf_counter()
+    result = sweeplib.run_points(runner, points)
+    return result, time.perf_counter() - start
+
+
+def test_sweep_throughput(save_result, save_json, tmp_path):
+    points = workload_points(REGISTRY.names(), tiles=fig15.TILES,
+                             scales=fig15.SCALES)
+    cache = ResultCache(tmp_path / "cache")  # private: cold is truly cold
+
+    seq, seq_s = _timed(SweepRunner(jobs=1, cache=None), points)
+    par, par_s = _timed(SweepRunner(jobs=PARALLEL_JOBS, cache=cache),
+                        points)
+    warm, warm_s = _timed(SweepRunner(jobs=PARALLEL_JOBS, cache=cache),
+                          points)
+
+    # determinism across execution modes: sequential, parallel and
+    # cached records all carry identical values (the host-timing keys —
+    # seconds, worker, host_seconds inside engine stats — live outside
+    # "value"... except engine host timing, which we mask)
+    def masked(value):
+        out = dict(value)
+        stats = dict(out.get("stats") or {})
+        engine = dict(stats.get("engine") or {})
+        for key in ("host_seconds", "sim_cycles_per_host_second"):
+            engine.pop(key, None)
+        stats["engine"] = engine
+        out["stats"] = stats
+        return out
+
+    for a, b, c in zip(seq.records, par.records, warm.records):
+        assert masked(a["value"]) == masked(b["value"]) == \
+            masked(c["value"])
+    assert par.summary["cache_hits"] == 0
+    assert warm.summary["cache_hits"] == len(points)
+    assert all(r["cache_hit"] for r in warm.records)
+
+    cold_speedup = seq_s / par_s if par_s else float("inf")
+    warm_speedup = seq_s / warm_s if warm_s else float("inf")
+    cpus = os.cpu_count() or 1
+
+    table = render_table(
+        ["Phase", "Jobs", "Cache", "Wall s", "vs sequential"],
+        [["sequential cold", 1, "off", round(seq_s, 3), "1.00x"],
+         ["parallel cold", PARALLEL_JOBS, "empty", round(par_s, 3),
+          f"{cold_speedup:.2f}x"],
+         ["warm replay", PARALLEL_JOBS, "full", round(warm_s, 3),
+          f"{warm_speedup:.2f}x"]],
+        title=f"Sweep throughput — fig15 grid ({len(points)} points, "
+              f"{cpus} host CPUs)")
+    save_result("sweep_throughput", table)
+    save_json("sweep_throughput", [
+        bench_record("fig15_grid", config={"points": len(points)},
+                     phase="sequential_cold", jobs=1,
+                     wall_seconds=round(seq_s, 4)),
+        bench_record("fig15_grid", config={"points": len(points)},
+                     phase="parallel_cold", jobs=PARALLEL_JOBS,
+                     wall_seconds=round(par_s, 4),
+                     speedup_vs_sequential=round(cold_speedup, 2)),
+        bench_record("fig15_grid", config={"points": len(points)},
+                     phase="warm_replay", jobs=PARALLEL_JOBS,
+                     wall_seconds=round(warm_s, 4),
+                     speedup_vs_sequential=round(warm_speedup, 2),
+                     cache_hits=warm.summary["cache_hits"]),
+    ], sweep=warm.summary)
+
+    # warm replay is pure cache mechanics: >= 10x on any host
+    assert warm_speedup >= WARM_MIN_SPEEDUP, (
+        f"warm replay only {warm_speedup:.1f}x faster than sequential")
+    # the parallel gate needs actual cores to mean anything
+    if cpus >= PARALLEL_JOBS:
+        assert cold_speedup >= COLD_PARALLEL_MIN_SPEEDUP, (
+            f"4-worker cold sweep only {cold_speedup:.1f}x on "
+            f"{cpus} CPUs")

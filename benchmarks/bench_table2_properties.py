@@ -9,10 +9,11 @@ pin the orderings that matter (dedup largest, every benchmark touches
 memory, only dedup is irregular).
 """
 
-import pytest
+import sweeplib
 
 from repro.accel import generate
-from repro.reports import bench_record, render_table
+from repro.exp import register_evaluator
+from repro.reports import render_table, sweep_record
 from repro.workloads import REGISTRY
 
 PAPER = {
@@ -22,8 +23,8 @@ PAPER = {
 }
 
 
-def properties(name):
-    workload = REGISTRY.get(name)
+def _eval_table2(spec):
+    workload = REGISTRY.get(spec["workload"])
     design = generate(workload.fresh_module())
     insts = sum(t.instruction_count() for t in design.graph.tasks)
     mems = sum(t.memory_op_count() for t in design.graph.tasks)
@@ -36,11 +37,21 @@ def properties(name):
     }
 
 
-def test_table2_benchmark_properties(benchmark, save_result, save_json):
-    def run():
-        return {name: properties(name) for name in REGISTRY.names()}
+register_evaluator("table2_properties", _eval_table2,
+                   program_text=sweeplib.file_program_text(__file__))
 
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+def test_table2_benchmark_properties(benchmark, save_result, save_json,
+                                     sweep_runner):
+    points = [{"evaluator": "table2_properties", "workload": name}
+              for name in REGISTRY.names()]
+
+    def run():
+        return sweeplib.run_points(sweep_runner, points)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    data = {record["spec"]["workload"]: record["value"]
+            for record in result.records}
 
     rows = []
     for name in REGISTRY.names():
@@ -54,14 +65,15 @@ def test_table2_benchmark_properties(benchmark, save_result, save_json):
         rows, title="Table II — Benchmark properties")
     save_result("table2_properties", text)
     save_json("table2_properties", [
-        bench_record(name, challenge=data[name]["challenge"],
-                     memory_pattern=data[name]["pattern"],
-                     tasks=data[name]["tasks"],
-                     instructions=data[name]["insts"],
-                     memory_ops=data[name]["mems"],
-                     paper_instructions=PAPER[name][0],
-                     paper_memory_ops=PAPER[name][1])
-        for name in REGISTRY.names()])
+        sweep_record(record, record["spec"]["workload"],
+                     challenge=record["value"]["challenge"],
+                     memory_pattern=record["value"]["pattern"],
+                     tasks=record["value"]["tasks"],
+                     instructions=record["value"]["insts"],
+                     memory_ops=record["value"]["mems"],
+                     paper_instructions=PAPER[record["spec"]["workload"]][0],
+                     paper_memory_ops=PAPER[record["spec"]["workload"]][1])
+        for record in result.records], sweep=result.summary)
 
     # dedup is by far the largest program (paper: 180 insts vs <60)
     insts = {n: data[n]["insts"] for n in data}

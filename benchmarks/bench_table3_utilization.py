@@ -6,7 +6,7 @@ Paper rows (Cyclone V 5CSEMA5): 1 tile/1 ins -> 185 MHz, 1314 ALM;
 308 MHz, 12% of chip.
 """
 
-import pytest
+import sweeplib
 
 from repro.accel import (
     ARRIA_10,
@@ -15,11 +15,12 @@ from repro.accel import (
     TaskUnitParams,
     build_accelerator,
 )
+from repro.exp import register_evaluator
 from repro.reports import (
-    bench_record,
     estimate_mhz,
     estimate_resources,
     render_table,
+    sweep_record,
 )
 from repro.workloads import ScaleMicro
 
@@ -32,61 +33,85 @@ PAPER_CYCLONE = {
 }
 
 
-def build_micro(tiles: int, ins: int):
-    workload = ScaleMicro(work_ops=ins)
+def _eval_table3(spec):
+    workload = ScaleMicro(work_ops=spec["ins"])
     config = AcceleratorConfig(unit_params={
         "scale": TaskUnitParams(ntiles=1),
-        "scale.t0": TaskUnitParams(ntiles=tiles),
+        "scale.t0": TaskUnitParams(ntiles=spec["tiles"]),
     })
-    return build_accelerator(workload.fresh_module(), config)
+    accel = build_accelerator(workload.fresh_module(), config)
+    report = estimate_resources(accel)
+    return {
+        "alms": report.alms, "regs": report.regs, "brams": report.brams,
+        "mhz_cyclone": estimate_mhz(CYCLONE_V, report.alms),
+        "mhz_arria": estimate_mhz(ARRIA_10, report.alms),
+        "pct_cyclone": report.chip_percent(CYCLONE_V.alm_capacity),
+        "pct_arria": report.chip_percent(ARRIA_10.alm_capacity),
+    }
 
 
-def test_table3_utilization(benchmark, save_result, save_json):
+register_evaluator("table3_utilization", _eval_table3,
+                   program_text=sweeplib.file_program_text(__file__))
+
+
+def test_table3_utilization(benchmark, save_result, save_json,
+                            sweep_runner):
+    points = [{"evaluator": "table3_utilization", "tiles": tiles,
+               "ins": ins} for tiles, ins in CONFIGS]
+
     def run():
-        rows = []
-        reports = {}
-        for tiles, ins in CONFIGS:
-            accel = build_micro(tiles, ins)
-            report = estimate_resources(accel)
-            mhz = estimate_mhz(CYCLONE_V, report.alms)
-            rows.append(["Cyclone V", tiles, ins, round(mhz, 1),
-                         report.alms, report.regs, report.brams,
-                         round(report.chip_percent(CYCLONE_V.alm_capacity), 1)])
-            reports[(tiles, ins)] = report
-        # Arria 10 point from the paper
-        big = reports[(10, 50)]
-        mhz_a = estimate_mhz(ARRIA_10, big.alms)
-        rows.append(["Arria 10", 10, 50, round(mhz_a, 1), big.alms,
-                     big.regs, big.brams,
-                     round(big.chip_percent(ARRIA_10.alm_capacity), 1)])
-        return rows, reports
+        return sweeplib.run_points(sweep_runner, points)
 
-    rows, reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    reports = {(r["spec"]["tiles"], r["spec"]["ins"]): r["value"]
+               for r in result.records}
+
+    rows = []
+    for tiles, ins in CONFIGS:
+        d = reports[(tiles, ins)]
+        rows.append(["Cyclone V", tiles, ins, round(d["mhz_cyclone"], 1),
+                     d["alms"], d["regs"], d["brams"],
+                     round(d["pct_cyclone"], 1)])
+    # Arria 10 point from the paper
+    big = reports[(10, 50)]
+    rows.append(["Arria 10", 10, 50, round(big["mhz_arria"], 1),
+                 big["alms"], big["regs"], big["brams"],
+                 round(big["pct_arria"], 1)])
+
     text = render_table(
         ["Board", "Tiles", "Ins", "MHz", "ALM", "Reg", "BRAM", "%Chip"],
         rows, title="Table III — FPGA utilisation (model vs paper)")
     save_result("table3_utilization", text)
-    save_json("table3_utilization", [
-        bench_record("scale_micro",
-                     config={"board": board, "tiles": tiles,
-                             "instructions": ins},
-                     mhz=mhz, alms=alms, regs=regs, brams=brams,
-                     chip_percent=pct)
-        for board, tiles, ins, mhz, alms, regs, brams, pct in rows])
+    json_records = [
+        sweep_record(record, "scale_micro",
+                     config={"board": "Cyclone V",
+                             "tiles": record["spec"]["tiles"],
+                             "instructions": record["spec"]["ins"]},
+                     mhz=round(record["value"]["mhz_cyclone"], 1),
+                     alms=record["value"]["alms"],
+                     regs=record["value"]["regs"],
+                     brams=record["value"]["brams"],
+                     chip_percent=round(record["value"]["pct_cyclone"], 1))
+        for record in result.records]
+    json_records.append(
+        sweep_record(result.records[-1], "scale_micro",
+                     config={"board": "Arria 10", "tiles": 10,
+                             "instructions": 50},
+                     mhz=round(big["mhz_arria"], 1), alms=big["alms"],
+                     regs=big["regs"], brams=big["brams"],
+                     chip_percent=round(big["pct_arria"], 1)))
+    save_json("table3_utilization", json_records, sweep=result.summary)
 
     # model accuracy against the published points
     for config, (p_mhz, p_alm, p_reg, p_bram, p_pct) in PAPER_CYCLONE.items():
-        report = reports[config]
-        assert abs(report.alms - p_alm) / p_alm < 0.25
-        assert abs(report.regs - p_reg) / p_reg < 0.40
-        assert report.brams == p_bram
-        mhz = estimate_mhz(CYCLONE_V, report.alms)
-        assert abs(mhz - p_mhz) / p_mhz < 0.20
+        d = reports[config]
+        assert abs(d["alms"] - p_alm) / p_alm < 0.25
+        assert abs(d["regs"] - p_reg) / p_reg < 0.40
+        assert d["brams"] == p_bram
+        assert abs(d["mhz_cyclone"] - p_mhz) / p_mhz < 0.20
 
     # the 10x50 design nearly fills a Cyclone V but is small on Arria 10
-    big = reports[(10, 50)]
-    assert big.chip_percent(CYCLONE_V.alm_capacity) > 60
-    assert big.chip_percent(ARRIA_10.alm_capacity) < 15
+    assert big["pct_cyclone"] > 60
+    assert big["pct_arria"] < 15
     # Arria closes timing ~2x higher (paper: 308 vs 159 MHz)
-    assert estimate_mhz(ARRIA_10, big.alms) > 1.7 * estimate_mhz(
-        CYCLONE_V, big.alms)
+    assert big["mhz_arria"] > 1.7 * big["mhz_cyclone"]

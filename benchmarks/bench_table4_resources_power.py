@@ -6,15 +6,16 @@ loop benchmarks use 3 M20Ks while the recursive pair (fib 62, mergesort
 at ~half the chip and ~1.5 W.
 """
 
-import pytest
+import sweeplib
 
 from repro.accel import CYCLONE_V
+from repro.exp import register_evaluator
 from repro.reports import (
-    bench_record,
     estimate_mhz,
     estimate_resources,
     fpga_power_watts,
     render_table,
+    sweep_record,
 )
 from repro.workloads import REGISTRY
 
@@ -29,47 +30,63 @@ PAPER = {  # name -> (tiles, MHz, ALMs, Regs, BRAM, Power W)
 }
 
 
-def measure(name):
-    workload = REGISTRY.get(name)
+def _eval_table4(spec):
+    workload = REGISTRY.get(spec["workload"])
     accel = workload.build()  # paper tile counts via default_config
     report = estimate_resources(accel)
     mhz = estimate_mhz(CYCLONE_V, report.alms)
     watts = fpga_power_watts(report.alms, report.brams, mhz)
-    return report, mhz, watts
+    return {"alms": report.alms, "regs": report.regs,
+            "brams": report.brams, "mhz": mhz, "watts": watts,
+            "paper_tiles": workload.paper_tiles}
 
 
-def test_table4_resources_power(benchmark, save_result, save_json):
+register_evaluator("table4_resources", _eval_table4,
+                   program_text=sweeplib.file_program_text(__file__))
+
+
+def test_table4_resources_power(benchmark, save_result, save_json,
+                                sweep_runner):
+    points = [{"evaluator": "table4_resources", "workload": name}
+              for name in REGISTRY.names()]
+
     def run():
-        return {name: measure(name) for name in REGISTRY.names()}
+        return sweeplib.run_points(sweep_runner, points)
 
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    data = {record["spec"]["workload"]: record["value"]
+            for record in result.records}
 
     rows = []
     for name in REGISTRY.names():
-        report, mhz, watts = data[name]
+        d = data[name]
         p = PAPER[name]
-        rows.append([name, REGISTRY.get(name).paper_tiles,
-                     round(mhz), p[1], report.alms, p[2],
-                     report.brams, p[4], round(watts, 2), p[5]])
+        rows.append([name, d["paper_tiles"],
+                     round(d["mhz"]), p[1], d["alms"], p[2],
+                     d["brams"], p[4], round(d["watts"], 2), p[5]])
     text = render_table(
         ["Benchmark", "Tiles", "MHz", "paper", "ALMs", "paper",
          "BRAM", "paper", "Power", "paper"],
         rows, title="Table IV — FPGA resources and power (Cyclone V)")
     save_result("table4_resources_power", text)
     save_json("table4_resources_power", [
-        bench_record(name,
+        sweep_record(record, record["spec"]["workload"],
                      config={"board": CYCLONE_V.name,
-                             "tiles": REGISTRY.get(name).paper_tiles},
-                     mhz=round(data[name][1]), alms=data[name][0].alms,
-                     regs=data[name][0].regs, brams=data[name][0].brams,
-                     watts=round(data[name][2], 3),
-                     paper_mhz=PAPER[name][1], paper_alms=PAPER[name][2],
-                     paper_brams=PAPER[name][4], paper_watts=PAPER[name][5])
-        for name in REGISTRY.names()])
+                             "tiles": record["value"]["paper_tiles"]},
+                     mhz=round(record["value"]["mhz"]),
+                     alms=record["value"]["alms"],
+                     regs=record["value"]["regs"],
+                     brams=record["value"]["brams"],
+                     watts=round(record["value"]["watts"], 3),
+                     paper_mhz=PAPER[record["spec"]["workload"]][1],
+                     paper_alms=PAPER[record["spec"]["workload"]][2],
+                     paper_brams=PAPER[record["spec"]["workload"]][4],
+                     paper_watts=PAPER[record["spec"]["workload"]][5])
+        for record in result.records], sweep=result.summary)
 
-    watts = {name: data[name][2] for name in data}
-    brams = {name: data[name][0].brams for name in data}
-    alms = {name: data[name][0].alms for name in data}
+    watts = {name: data[name]["watts"] for name in data}
+    brams = {name: data[name]["brams"] for name in data}
+    alms = {name: data[name]["alms"] for name in data}
 
     # every design is a ~1 W accelerator (paper: 0.68 - 1.49 W)
     assert all(0.4 < w < 2.5 for w in watts.values())

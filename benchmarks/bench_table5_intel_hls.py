@@ -12,18 +12,19 @@ then hit the same DRAM bandwidth wall, which is where the parity comes
 from.
 """
 
-import pytest
+import sweeplib
 
-from repro.accel import CYCLONE_V, AcceleratorConfig, TaskUnitParams, build_accelerator
+from repro.accel import CYCLONE_V, AcceleratorConfig, build_accelerator
 from repro.baselines import IMAGE_SCALE_SPEC, SAXPY_SPEC, synthesize_static
+from repro.exp import register_evaluator
 from repro.frontend import compile_source
 from repro.ir.opsem import eval_binop, to_f32
 from repro.ir.types import F32, I32
 from repro.reports import (
-    bench_record,
     estimate_mhz,
     estimate_resources,
     render_table,
+    sweep_record,
 )
 
 UNROLL = 3
@@ -96,37 +97,54 @@ def run_tapas_image():
     return accel, result
 
 
-def test_table5_intel_hls_vs_tapas(benchmark, save_result, save_json):
-    def run():
-        rows = {}
-        for name, spec, runner in (
-                ("saxpy", SAXPY_SPEC, run_tapas_saxpy),
-                ("image_scale", IMAGE_SCALE_SPEC, run_tapas_image)):
-            intel = synthesize_static(spec, iterations=N_ELEMENTS,
-                                      unroll=UNROLL)
-            accel, result = runner()
-            report = estimate_resources(accel, include_cache=True)
-            mhz = estimate_mhz(CYCLONE_V, report.alms)
-            rows[name] = {
-                "intel": intel,
-                "tapas_cycles": result.cycles,
-                "tapas_mhz": mhz,
-                "tapas_alms": report.alms,
-                "tapas_regs": report.regs,
-                "tapas_brams": report.brams,
-            }
-        return rows
+_TAPAS_RUNNERS = {"saxpy": run_tapas_saxpy, "image_scale": run_tapas_image}
+_INTEL_SPECS = {"saxpy": SAXPY_SPEC, "image_scale": IMAGE_SCALE_SPEC}
 
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+def _eval_table5(spec):
+    name = spec["bench"]
+    intel = synthesize_static(_INTEL_SPECS[name], iterations=N_ELEMENTS,
+                              unroll=UNROLL)
+    accel, result = _TAPAS_RUNNERS[name]()
+    report = estimate_resources(accel, include_cache=True)
+    mhz = estimate_mhz(CYCLONE_V, report.alms)
+    return {
+        "intel": {"cycles": intel.cycles, "mhz": intel.mhz,
+                  "alms": intel.alms, "registers": intel.registers,
+                  "brams": intel.brams},
+        "tapas_cycles": result.cycles,
+        "tapas_mhz": mhz,
+        "tapas_alms": report.alms,
+        "tapas_regs": report.regs,
+        "tapas_brams": report.brams,
+    }
+
+
+register_evaluator("table5_intel_hls", _eval_table5,
+                   program_text=sweeplib.file_program_text(__file__))
+
+
+def test_table5_intel_hls_vs_tapas(benchmark, save_result, save_json,
+                                   sweep_runner):
+    points = [{"evaluator": "table5_intel_hls", "bench": name,
+               "unroll": UNROLL, "tiles": TILES, "elements": N_ELEMENTS}
+              for name in ("saxpy", "image_scale")]
+
+    def run():
+        return sweeplib.run_points(sweep_runner, points)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    data = {record["spec"]["bench"]: record["value"]
+            for record in result.records}
 
     table_rows = []
     for name, d in data.items():
         intel = d["intel"]
         tapas_us = d["tapas_cycles"] / d["tapas_mhz"]
-        intel_us = intel.cycles / intel.mhz
-        table_rows.append([name, "Intel HLS", round(intel.mhz), intel.alms,
-                           intel.registers, intel.brams,
-                           round(intel_us, 1)])
+        intel_us = intel["cycles"] / intel["mhz"]
+        table_rows.append([name, "Intel HLS", round(intel["mhz"]),
+                           intel["alms"], intel["registers"],
+                           intel["brams"], round(intel_us, 1)])
         table_rows.append([name, "TAPAS", round(d["tapas_mhz"]),
                            d["tapas_alms"], d["tapas_regs"],
                            d["tapas_brams"], round(tapas_us, 1)])
@@ -137,31 +155,35 @@ def test_table5_intel_hls_vs_tapas(benchmark, save_result, save_json):
               f"({TILES} tiles), {N_ELEMENTS} elements")
     save_result("table5_intel_hls", text)
     records = []
-    for name, d in data.items():
+    for record in result.records:
+        name, d = record["spec"]["bench"], record["value"]
         intel = d["intel"]
-        records.append(bench_record(
-            name, config={"tool": "intel_hls", "unroll": UNROLL,
-                          "elements": N_ELEMENTS},
-            cycles=intel.cycles, mhz=round(intel.mhz), alms=intel.alms,
-            regs=intel.registers, brams=intel.brams))
-        records.append(bench_record(
-            name, config={"tool": "tapas", "tiles": TILES,
-                          "elements": N_ELEMENTS},
-            cycles=d["tapas_cycles"], mhz=round(d["tapas_mhz"]),
+        records.append(sweep_record(
+            record, name,
+            config={"tool": "intel_hls", "unroll": UNROLL,
+                    "elements": N_ELEMENTS},
+            intel_cycles=intel["cycles"], mhz=round(intel["mhz"]),
+            alms=intel["alms"], regs=intel["registers"],
+            brams=intel["brams"]))
+        records.append(sweep_record(
+            record, name,
+            config={"tool": "tapas", "tiles": TILES,
+                    "elements": N_ELEMENTS},
+            tapas_cycles=d["tapas_cycles"], mhz=round(d["tapas_mhz"]),
             alms=d["tapas_alms"], regs=d["tapas_regs"],
             brams=d["tapas_brams"]))
-    save_json("table5_intel_hls", records)
+    save_json("table5_intel_hls", records, sweep=result.summary)
 
     for name, d in data.items():
         intel = d["intel"]
         tapas_seconds = d["tapas_cycles"] / (d["tapas_mhz"] * 1e6)
-        intel_seconds = intel.cycles / (intel.mhz * 1e6)
+        intel_seconds = intel["cycles"] / (intel["mhz"] * 1e6)
         ratio = tapas_seconds / intel_seconds
         # paper: runtime parity (20/21 ms and 103/99 ms)
         assert 0.4 < ratio < 2.5, f"{name}: runtime ratio {ratio:.2f}"
         # paper: clocks in the same band (146-181 MHz)
-        assert abs(d["tapas_mhz"] - intel.mhz) / intel.mhz < 0.25
+        assert abs(d["tapas_mhz"] - intel["mhz"]) / intel["mhz"] < 0.25
         # paper's signature: the BRAM split. Intel HLS spends 38-67 M20Ks
         # on stream buffers; TAPAS ~10 (L1 + queues).
-        assert intel.brams > 2.5 * d["tapas_brams"]
+        assert intel["brams"] > 2.5 * d["tapas_brams"]
         assert d["tapas_brams"] <= 16

@@ -11,6 +11,7 @@ import sys
 import pytest
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "..", "results")
@@ -41,9 +42,18 @@ def save_json():
     """
     from repro.reports.benchjson import write_bench_json
 
-    def _save(name: str, records):
+    def _save(name: str, records, sweep=None):
         os.makedirs(RESULTS_DIR, exist_ok=True)
         path = os.path.join(RESULTS_DIR, f"{name}.json")
-        write_bench_json(path, name, records)
+        write_bench_json(path, name, records, sweep=sweep)
 
     return _save
+
+
+@pytest.fixture
+def sweep_runner():
+    """The bench-standard SweepRunner (parallel workers + result cache,
+    both controlled by REPRO_BENCH_JOBS / REPRO_BENCH_CACHE)."""
+    import sweeplib
+
+    return sweeplib.make_runner()

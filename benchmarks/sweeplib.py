@@ -1,0 +1,78 @@
+"""Shared sweep plumbing for the benchmarks.
+
+Every bench routes its grid through :class:`repro.exp.SweepRunner` — the
+same engine behind ``repro sweep`` — so all of them get parallel fan-out,
+failure isolation and the content-addressed result cache for free.
+
+Environment knobs (both optional):
+
+* ``REPRO_BENCH_JOBS``  — worker processes per sweep (default: all CPUs).
+* ``REPRO_BENCH_CACHE`` — ``off``/``none``/``0`` disables caching; a path
+  uses that directory; unset uses the default ``~/.cache/repro``.
+  Caching is safe to leave on: every key folds in a fingerprint of the
+  whole ``src/repro`` tree, so any code edit rolls the cache.
+
+Benches with bespoke measurements register their own evaluators at
+module import; the default ``fork`` start method makes them visible to
+pool workers without any plumbing.
+"""
+
+import os
+
+from repro.exp import ResultCache, SweepRunner
+
+JOBS_ENV = "REPRO_BENCH_JOBS"
+CACHE_ENV = "REPRO_BENCH_CACHE"
+
+_CACHE_OFF = ("off", "none", "0", "false")
+
+
+def bench_jobs():
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if raw:
+        return max(1, int(raw))
+    return max(1, os.cpu_count() or 1)
+
+
+def bench_cache():
+    raw = os.environ.get(CACHE_ENV, "").strip()
+    if raw.lower() in _CACHE_OFF:
+        return None
+    if raw:
+        return ResultCache(raw)
+    return ResultCache()
+
+
+def make_runner(jobs=None, cache="default"):
+    """The bench-standard SweepRunner. Pass ``cache=None`` for benches
+    that measure host wall-clock (a cache hit would skip the very thing
+    being timed)."""
+    return SweepRunner(jobs=bench_jobs() if jobs is None else jobs,
+                       cache=bench_cache() if cache == "default" else cache)
+
+
+def file_program_text(path):
+    """``program_text`` hook for bench-local evaluators: the bench file
+    itself is the program text, so editing a bench's measurement code
+    rolls its cache keys (the src/repro fingerprint only covers the
+    package)."""
+    with open(path, "r") as handle:
+        text = handle.read()
+    return lambda spec: text
+
+
+def run_points(runner, specs):
+    """Run a sweep and fail the bench loudly on the first broken point.
+
+    The runner's failure isolation still applies — every point ran — but
+    a benchmark with a failed point has nothing meaningful to report, so
+    surface the structured error as an assertion with its traceback.
+    """
+    result = runner.run(specs)
+    errors = result.errors
+    if errors:
+        first = errors[0]
+        raise AssertionError(
+            "sweep point failed: %s\n%s"
+            % (first["spec"], first["error"]["traceback"]))
+    return result

@@ -8,6 +8,9 @@ Subcommands mirror the toolchain stages:
 * ``emit``      — source file -> Chisel-flavoured or Verilog RTL
 * ``estimate``  — source file -> resources / fmax / power per board
 * ``run``       — execute a registered workload and report cycles
+* ``sweep``     — expand a workload × tiles × engine grid and run it
+  through the parallel sweep runner (worker processes + the
+  content-addressed result cache)
 * ``profile``   — run a source file under the cycle profiler
 * ``diff``      — run a source file under both simulation engines and
   fail unless cycle counts and stats are bit-identical
@@ -211,6 +214,73 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _parse_scales(default: int, spec: str, names):
+    """``--scales fibonacci=2,saxpy=8`` → per-workload scale map."""
+    if not spec:
+        return default
+    scales = {name: default for name in names}
+    for part in spec.split(","):
+        name, sep, value = part.partition("=")
+        if not sep or name not in scales:
+            raise TapasError(
+                f"bad --scales entry {part!r} (expected <workload>=<int> "
+                f"with workload in {sorted(scales)})")
+        scales[name] = int(value)
+    return scales
+
+
+def cmd_sweep(args) -> int:
+    from repro.exp import ResultCache, SweepRunner, progress_printer, workload_points
+    from repro.reports.benchjson import sweep_record, write_bench_json
+    from repro.workloads import REGISTRY
+
+    names = (REGISTRY.names() if args.workloads == "all"
+             else args.workloads.split(","))
+    for name in names:
+        REGISTRY.get(name)  # fail fast on typos, before any fan-out
+    tiles = [int(t) for t in args.tiles.split(",")]
+    engines = args.engines.split(",")
+    scales = _parse_scales(args.scale, args.scales, names)
+    points = workload_points(names, tiles=tiles, scales=scales,
+                             engines=engines)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = progress_printer() if sys.stderr.isatty() else None
+    runner = SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
+    result = runner.run(points)
+
+    rows = []
+    for record in result.records:
+        spec = record["spec"]
+        if record["status"] == "ok":
+            value = record["value"]
+            outcome = value["cycles"]
+        else:
+            outcome = f"ERROR: {record['error']['type']}"
+        rows.append([spec["workload"], spec["tiles"], spec["engine"],
+                     spec["scale"], outcome,
+                     "hit" if record["cache_hit"] else "miss",
+                     round(record["seconds"], 3)])
+    summary = result.summary
+    print(render_table(
+        ["Workload", "Tiles", "Engine", "Scale", "Cycles", "Cache", "s"],
+        rows,
+        title=f"Sweep: {summary['points']} points, {summary['jobs']} "
+              f"job(s), {summary['wall_seconds']:.2f}s wall, "
+              f"{summary['cache_hits']} cache hit(s), "
+              f"{summary['errors']} error(s)"))
+    if args.out:
+        records = [
+            sweep_record(record, record["spec"]["workload"],
+                         config={"ntiles": record["spec"]["tiles"],
+                                 "engine": record["spec"]["engine"],
+                                 "scale": record["spec"]["scale"]})
+            for record in result.records]
+        write_bench_json(args.out, "sweep", records, sweep=summary)
+        print(f"results written to {args.out}")
+    return 1 if summary["errors"] else 0
+
+
 def _default_profile_args(function, memory, size: int):
     """Synthesise deterministic entry arguments for ``repro profile``.
 
@@ -376,6 +446,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=list(ENGINES), default="event",
                    help="simulation kernel (default: event)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a workload/tiles/engine grid through the sweep runner")
+    p.add_argument("--workloads", default="all",
+                   help="comma-separated workload names, or 'all' "
+                        "(default: all)")
+    p.add_argument("--tiles", default="1",
+                   help="comma-separated tile counts (default: 1)")
+    p.add_argument("--engines", default="event",
+                   help="comma-separated engines (default: event)")
+    p.add_argument("--scale", type=int, default=1,
+                   help="problem scale applied to every workload")
+    p.add_argument("--scales", default="",
+                   help="per-workload overrides, e.g. fibonacci=2,saxpy=8")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default: 1, inline)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="result-cache root (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute every point, read/write no cache")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the schema-3 results document as JSON")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("profile",
                        help="run a source file under the cycle profiler")

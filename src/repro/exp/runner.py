@@ -1,0 +1,250 @@
+"""The sweep runner: parallel point evaluation with failure isolation.
+
+Evaluators are registered by name at import time (workers created with
+the default ``fork`` start method inherit the registry; on spawn-based
+platforms custom evaluators must live in an importable module). The
+built-in ``workload`` evaluator runs a registered workload under a
+config rebuilt from the point spec.
+
+Execution contract:
+
+* one crashing point produces a structured error record (exception
+  type, message, traceback) — the rest of the sweep completes;
+* records come back in point order regardless of completion order;
+* with a :class:`~repro.exp.cache.ResultCache` attached, previously
+  computed points are served from disk (errors are never cached), so a
+  re-run is near-instant and an interrupted sweep resumes where it
+  died;
+* every result value is normalised through a JSON round-trip before it
+  is recorded, so a fresh record and its cached replay are
+  field-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import TapasError
+from repro.exp.cache import ResultCache
+from repro.exp.grid import config_from_spec
+
+Evaluator = Callable[[Dict[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class _Registration:
+    name: str
+    fn: Evaluator
+    #: spec -> the program text the point compiles; folded into the
+    #: cache key so editing a workload's source invalidates its entries
+    program_text: Optional[Callable[[Dict[str, Any]], str]] = None
+
+
+_EVALUATORS: Dict[str, _Registration] = {}
+
+
+def register_evaluator(name: str, fn: Evaluator,
+                       program_text: Optional[Callable] = None,
+                       replace: bool = False) -> None:
+    if name in _EVALUATORS and not replace:
+        raise TapasError(f"evaluator {name!r} already registered")
+    _EVALUATORS[name] = _Registration(name, fn, program_text)
+
+
+def get_evaluator(name: str) -> _Registration:
+    if name not in _EVALUATORS:
+        raise TapasError(
+            f"unknown evaluator {name!r}; have {sorted(_EVALUATORS)}")
+    return _EVALUATORS[name]
+
+
+# -- the built-in workload evaluator --------------------------------------
+
+def _workload_program_text(spec: Dict[str, Any]) -> str:
+    from repro.workloads import REGISTRY
+
+    return REGISTRY.get(spec["workload"]).source
+
+
+def _eval_workload(spec: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.workloads import REGISTRY
+
+    workload = REGISTRY.get(spec["workload"])
+    config = config_from_spec(workload, spec)
+    result = workload.run(config, scale=spec.get("scale", 1),
+                          max_cycles=spec.get("max_cycles", 50_000_000))
+    if not result.correct:
+        raise TapasError(
+            f"{workload.name} produced a wrong result under {spec}")
+    return {
+        "workload": result.name,
+        "engine": config.engine,
+        "tiles": spec.get("tiles"),
+        "scale": spec.get("scale", 1),
+        "cycles": result.cycles,
+        "correct": result.correct,
+        "work_items": result.work_items,
+        "retval": result.retval,
+        "stats": result.stats,
+    }
+
+
+register_evaluator("workload", _eval_workload,
+                   program_text=_workload_program_text)
+
+
+# -- point execution (runs in the worker process) -------------------------
+
+def _execute_point(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Evaluate one point; never raises. The outcome dict is the
+    record's core — structured errors instead of a dead sweep."""
+    start = time.perf_counter()
+    try:
+        registration = get_evaluator(spec["evaluator"])
+        value = registration.fn(spec)
+        # JSON round-trip: tuples become lists, int keys become strings
+        # — exactly what a cached replay of this record will contain
+        value = json.loads(json.dumps(value))
+        outcome: Dict[str, Any] = {"status": "ok", "value": value,
+                                   "error": None}
+    except Exception as exc:
+        outcome = {"status": "error", "value": None,
+                   "error": {"type": type(exc).__name__,
+                             "message": str(exc),
+                             "traceback": traceback.format_exc()}}
+    outcome["seconds"] = round(time.perf_counter() - start, 6)
+    outcome["worker"] = os.getpid()
+    return outcome
+
+
+@dataclass
+class SweepResult:
+    """Records in point order plus the sweep-level summary."""
+
+    records: List[Dict[str, Any]]
+    summary: Dict[str, Any]
+
+    @property
+    def values(self) -> List[Any]:
+        """Ok-record values in point order (None where a point failed)."""
+        return [r["value"] for r in self.records]
+
+    @property
+    def errors(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["status"] == "error"]
+
+
+@dataclass
+class SweepRunner:
+    """Expands nothing and decides nothing: takes point specs, returns
+    records. ``jobs`` > 1 fans out over a process pool; a cache serves
+    hits before any worker starts; ``progress`` (done, total, elapsed
+    seconds) fires after every completed point."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    progress: Optional[Callable[[int, int, float], None]] = None
+
+    def run(self, specs: Sequence[Dict[str, Any]]) -> SweepResult:
+        start = time.perf_counter()
+        total = len(specs)
+        records: List[Optional[Dict[str, Any]]] = [None] * total
+        pending: List[tuple] = []  # (index, spec, cache key)
+        hits = 0
+        for index, spec in enumerate(specs):
+            try:
+                registration = get_evaluator(spec["evaluator"])
+            except Exception as exc:
+                # a misnamed evaluator poisons one point, not the sweep
+                records[index] = {
+                    "spec": spec, "cache_hit": False, "worker": None,
+                    "seconds": 0.0, "status": "error", "value": None,
+                    "error": {"type": type(exc).__name__,
+                              "message": str(exc),
+                              "traceback": traceback.format_exc()}}
+                continue
+            key = None
+            if self.cache is not None:
+                text = (registration.program_text(spec)
+                        if registration.program_text else "")
+                key = self.cache.key(registration.name, spec, text)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    hits += 1
+                    records[index] = {"spec": spec, "cache_hit": True,
+                                      "worker": None, "seconds": 0.0,
+                                      "status": "ok",
+                                      "value": cached["value"],
+                                      "error": None}
+                    continue
+            pending.append((index, spec, key))
+
+        done = total - len(pending)
+        if self.progress is not None and total:
+            self.progress(done, total, time.perf_counter() - start)
+
+        def record_outcome(index, spec, key, outcome):
+            if outcome["status"] == "ok" and self.cache is not None \
+                    and key is not None:
+                self.cache.put(key, {"value": outcome["value"]})
+            outcome = dict(outcome)
+            outcome["spec"] = spec
+            outcome["cache_hit"] = False
+            records[index] = outcome
+
+        if pending and (self.jobs <= 1 or len(pending) == 1):
+            for index, spec, key in pending:
+                record_outcome(index, spec, key, _execute_point(spec))
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, time.perf_counter() - start)
+        elif pending:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {pool.submit(_execute_point, spec): (index, spec,
+                                                               key)
+                           for index, spec, key in pending}
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining,
+                                               return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        index, spec, key = futures[future]
+                        record_outcome(index, spec, key, future.result())
+                        done += 1
+                        if self.progress is not None:
+                            self.progress(done, total,
+                                          time.perf_counter() - start)
+
+        errors = sum(1 for r in records if r is not None
+                     and r["status"] == "error")
+        summary = {
+            "points": total,
+            "jobs": self.jobs,
+            "wall_seconds": round(time.perf_counter() - start, 6),
+            "cache_hits": hits,
+            "cache_misses": total - hits,
+            "errors": errors,
+        }
+        return SweepResult(records=records, summary=summary)  # type: ignore[arg-type]
+
+
+def progress_printer(stream=None) -> Callable[[int, int, float], None]:
+    """A simple ``done/total (elapsed, eta)`` progress line for TTYs."""
+    import sys
+
+    stream = stream or sys.stderr
+
+    def report(done: int, total: int, elapsed: float) -> None:
+        eta = (elapsed / done * (total - done)) if done else float("nan")
+        end = "\n" if done == total else "\r"
+        stream.write(f"sweep: {done}/{total} points "
+                     f"({elapsed:.1f}s elapsed, eta {eta:.1f}s){end}")
+        stream.flush()
+
+    return report

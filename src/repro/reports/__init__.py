@@ -4,6 +4,8 @@ from repro.reports.benchjson import (
     bench_record,
     config_summary,
     engine_summary,
+    read_bench_json,
+    sweep_record,
     utilization_from_stats,
     write_bench_json,
 )
@@ -31,7 +33,7 @@ from repro.reports.visualize import (
 
 __all__ = [
     "bench_record", "config_summary", "engine_summary",
-    "utilization_from_stats",
+    "read_bench_json", "sweep_record", "utilization_from_stats",
     "write_bench_json", "render_profile_report",
     "cycles_to_seconds", "estimate_mhz",
     "CPU_PACKAGE_WATTS", "TABLE4_ROWS", "cpu_power_watts", "fit_to_table4",

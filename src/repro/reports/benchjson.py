@@ -4,17 +4,25 @@ Every ``benchmarks/bench_*.py`` writes, next to its ``results/*.txt``
 table, a ``results/*.json`` document so the performance trajectory can
 be tracked across PRs. The schema is one document per bench::
 
-    {"bench": str, "schema": 2,
+    {"bench": str, "schema": 3,
+     "sweep": {"wall_seconds": float, "jobs": int, "points": int,
+               "cache_hits": int, "cache_misses": int,
+               "errors": int}|null,
      "records": [{"workload": str, "config": {...}, "cycles": int|null,
                   "utilization": {...}|null, "stalls": {...}|null,
-                  "engine": {...}|null, "metrics": {...}}]}
+                  "engine": {...}|null, "cache_hit": bool|null,
+                  "worker": int|null, "metrics": {...}}]}
 
 ``bench_record`` builds one record; non-simulation benches (resource
 tables) set ``cycles`` to None and carry their numbers in ``metrics``.
-Schema 2 adds the ``engine`` key: host-side performance of the
+Schema 2 added the ``engine`` key: host-side performance of the
 simulation itself (engine name, ``host_seconds``,
-``sim_cycles_per_host_second``) so simulator throughput can be tracked
-across PRs alongside the architectural numbers.
+``sim_cycles_per_host_second``). Schema 3 adds sweep-runner provenance:
+per-record ``cache_hit`` (served from the content-addressed result
+cache?) and ``worker`` (pid of the sweep worker that computed it), plus
+the top-level ``sweep`` wall-clock summary. :func:`read_bench_json`
+reads both schemas, normalising 2 up to 3, so existing
+``results/*.json`` stay valid.
 """
 
 from __future__ import annotations
@@ -22,14 +30,24 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
+
+#: schemas read_bench_json understands (older ones are normalised up)
+READABLE_SCHEMAS = (2, 3)
 
 #: keys every record must carry (value may be None)
 RECORD_KEYS = ("workload", "config", "cycles", "utilization", "stalls",
-               "engine", "metrics")
+               "engine", "cache_hit", "worker", "metrics")
+
+#: record keys added by schema 3 (defaulted when reading schema 2)
+_SCHEMA3_RECORD_KEYS = ("cache_hit", "worker")
 
 #: subset of Simulator.engine_stats() carried in bench records
 ENGINE_RECORD_KEYS = ("name", "host_seconds", "sim_cycles_per_host_second")
+
+#: the sweep summary block carried at document level
+SWEEP_KEYS = ("points", "jobs", "wall_seconds", "cache_hits",
+              "cache_misses", "errors")
 
 
 def config_summary(config) -> Dict[str, Any]:
@@ -91,8 +109,14 @@ def bench_record(workload: str, config: Any = None,
                  stalls: Optional[dict] = None,
                  stats: Optional[dict] = None,
                  engine: Optional[dict] = None,
+                 cache_hit: Optional[bool] = None,
+                 worker: Optional[int] = None,
                  **metrics) -> Dict[str, Any]:
-    """One benchmark data point in the BENCH_*.json schema."""
+    """One benchmark data point in the BENCH_*.json schema.
+
+    ``cache_hit``/``worker`` are sweep-runner provenance: None for
+    benches that do not run through the SweepRunner.
+    """
     if not isinstance(config, (dict, type(None))):
         config = config_summary(config)
     if utilization is None and stats is not None and cycles:
@@ -108,21 +132,77 @@ def bench_record(workload: str, config: Any = None,
         "utilization": utilization,
         "stalls": stalls,
         "engine": engine,
+        "cache_hit": cache_hit,
+        "worker": worker,
         "metrics": metrics,
     }
 
 
-def bench_document(bench: str, records: List[dict]) -> Dict[str, Any]:
+def sweep_record(point_record: Dict[str, Any], workload: str,
+                 config: Any = None, **metrics) -> Dict[str, Any]:
+    """A bench record carrying a SweepRunner point record's provenance.
+
+    ``point_record`` is one entry of
+    :attr:`repro.exp.SweepResult.records`; its value's cycles/stats feed
+    the architectural fields, its ``cache_hit``/``worker`` feed the
+    schema-3 provenance keys. Failed points produce a record with None
+    cycles and the structured error in ``metrics``.
+    """
+    value = point_record.get("value") or {}
+    return bench_record(
+        workload,
+        config=config,
+        cycles=value.get("cycles"),
+        stats=value.get("stats"),
+        cache_hit=point_record.get("cache_hit"),
+        worker=point_record.get("worker"),
+        **({"error": point_record["error"]}
+           if point_record.get("status") == "error" else {}),
+        **metrics)
+
+
+def bench_document(bench: str, records: List[dict],
+                   sweep: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     for record in records:
         missing = [k for k in RECORD_KEYS if k not in record]
         if missing:
             raise ValueError(f"bench {bench}: record missing {missing}")
+    if sweep is not None:
+        missing = [k for k in SWEEP_KEYS if k not in sweep]
+        if missing:
+            raise ValueError(f"bench {bench}: sweep summary missing {missing}")
+        sweep = {key: sweep[key] for key in SWEEP_KEYS}
     return {"bench": bench, "schema": BENCH_SCHEMA_VERSION,
-            "records": records}
+            "sweep": sweep, "records": records}
 
 
-def write_bench_json(path: str, bench: str, records: List[dict]) -> dict:
-    document = bench_document(bench, records)
+def read_bench_json(path: str) -> Dict[str, Any]:
+    """Load a results document, accepting schema 2 or 3.
+
+    Schema-2 documents (written before the sweep runner existed) are
+    normalised in place: ``sweep`` becomes None and every record gains
+    ``cache_hit``/``worker`` as None — so downstream consumers only ever
+    see the schema-3 shape.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    schema = document.get("schema")
+    if schema not in READABLE_SCHEMAS:
+        raise ValueError(
+            f"{path}: unsupported bench schema {schema!r} "
+            f"(readable: {READABLE_SCHEMAS})")
+    if schema < BENCH_SCHEMA_VERSION:
+        document.setdefault("sweep", None)
+        for record in document.get("records", []):
+            for key in _SCHEMA3_RECORD_KEYS:
+                record.setdefault(key, None)
+        document["schema"] = BENCH_SCHEMA_VERSION
+    return document
+
+
+def write_bench_json(path: str, bench: str, records: List[dict],
+                     sweep: Optional[Dict[str, Any]] = None) -> dict:
+    document = bench_document(bench, records, sweep=sweep)
     with open(path, "w") as handle:
         json.dump(document, handle, indent=1, sort_keys=False)
         handle.write("\n")

@@ -23,7 +23,16 @@ from repro.errors import SimulationError
 
 
 class Channel:
-    """Bounded FIFO with registered handshake semantics."""
+    """Bounded FIFO with registered handshake semantics.
+
+    ``__slots__`` keeps the per-instance footprint flat and makes the
+    push/pop/commit hot path (executed once per moving channel per
+    cycle) a slot load instead of a dict lookup.
+    """
+
+    __slots__ = ("name", "capacity", "_items", "_pending_push",
+                 "_pending_pop", "total_pushed", "total_popped", "sim",
+                 "_dirty", "_subscribers")
 
     def __init__(self, name: str, capacity: int = 2):
         if capacity < 1:

@@ -164,7 +164,8 @@ class TaskUnit(Component):
             self._synced_to = through_cycle
 
     def tick(self, cycle: int):
-        self._catch_up(cycle - 1)
+        if self._synced_to < cycle - 1:  # only after an event-engine skip
+            self._catch_up(cycle - 1)
         self._synced_to = cycle
         self._accept_join(cycle)
         self._accept_spawn(cycle)

@@ -1,0 +1,116 @@
+"""Cache-key invalidation and corruption handling.
+
+The key must move when anything that can change the result moves —
+program text, any config field, the repro version — and must NOT move
+for identical inputs (that is the whole point of content addressing).
+Corrupted entries are evicted and recomputed, never fatal.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.exp import ResultCache, canonical_json
+
+SPEC = {"evaluator": "workload", "workload": "fibonacci",
+        "tiles": 2, "scale": 1, "engine": "event"}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path)
+
+
+def test_identical_inputs_identical_key(cache):
+    a = cache.key("workload", dict(SPEC), program_text="func f() {}")
+    b = cache.key("workload", dict(SPEC), program_text="func f() {}")
+    assert a == b
+
+
+def test_key_order_insensitive(cache):
+    """Canonical JSON sorts keys: dict insertion order is not content."""
+    shuffled = dict(reversed(list(SPEC.items())))
+    assert cache.key("workload", SPEC) == cache.key("workload", shuffled)
+
+
+def test_program_text_changes_key(cache):
+    a = cache.key("workload", SPEC, program_text="func f() {}")
+    b = cache.key("workload", SPEC, program_text="func f() { spawn g(); }")
+    assert a != b
+
+
+def test_any_config_field_changes_key(cache):
+    base = cache.key("workload", SPEC)
+    for field, value in [("tiles", 4), ("scale", 2), ("engine", "dense"),
+                         ("workload", "mergesort")]:
+        spec = dict(SPEC)
+        spec[field] = value
+        assert cache.key("workload", spec) != base, field
+    nested = dict(SPEC)
+    nested["overrides"] = {"cache": {"size_bytes": 1024}}
+    assert cache.key("workload", nested) != base
+
+
+def test_version_changes_key(cache, monkeypatch):
+    a = cache.key("workload", SPEC)
+    monkeypatch.setattr(repro.exp.cache, "__version__", "0.0.0-other")
+    b = cache.key("workload", SPEC)
+    assert a != b
+
+
+def test_code_fingerprint_changes_key(cache, monkeypatch):
+    """Any edit to src/repro rolls every key: a cached cycle count can
+    only ever be replayed by the exact code that produced it."""
+    a = cache.key("workload", SPEC)
+    monkeypatch.setattr(repro.exp.cache, "_fingerprint", "f" * 64)
+    b = cache.key("workload", SPEC)
+    assert a != b
+    assert repro.exp.cache.code_fingerprint() == "f" * 64
+
+
+def test_code_fingerprint_is_stable_and_hexdigest(monkeypatch):
+    monkeypatch.setattr(repro.exp.cache, "_fingerprint", None)
+    first = repro.exp.cache.code_fingerprint()
+    assert first == repro.exp.cache.code_fingerprint()
+    assert len(first) == 64 and int(first, 16) >= 0
+
+
+def test_evaluator_name_changes_key(cache):
+    assert cache.key("workload", SPEC) != cache.key("other", SPEC)
+
+
+def test_roundtrip(cache):
+    key = cache.key("workload", SPEC)
+    assert cache.get(key) is None
+    cache.put(key, {"value": {"cycles": 123}})
+    assert cache.get(key) == {"value": {"cycles": 123}}
+
+
+def test_corrupted_entry_evicted_not_fatal(cache):
+    key = cache.key("workload", SPEC)
+    cache.put(key, {"value": 1})
+    path = cache.path_for(key)
+    path.write_text("{ this is not json", encoding="utf-8")
+    assert cache.get(key) is None          # miss, not an exception
+    assert not path.exists()               # evicted
+    assert cache.evictions == 1
+    cache.put(key, {"value": 2})           # recomputed entry lands fine
+    assert cache.get(key) == {"value": 2}
+
+
+def test_wrong_key_entry_evicted(cache):
+    """An entry whose recorded key disagrees with its address (e.g. a
+    truncated copy) is treated as corruption."""
+    key = cache.key("workload", SPEC)
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps({"key": "deadbeef", "record": {}}),
+                    encoding="utf-8")
+    assert cache.get(key) is None
+    assert cache.evictions == 1
+
+
+def test_canonical_json_rejects_non_json():
+    with pytest.raises(TypeError):
+        canonical_json({"bad": object()})

@@ -1,0 +1,179 @@
+"""SweepRunner: failure isolation, deterministic ordering, caching,
+and parallel/sequential equivalence."""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.errors import TapasError
+from repro.exp import (
+    ResultCache,
+    SweepRunner,
+    expand_grid,
+    register_evaluator,
+    workload_points,
+)
+from repro.workloads import REGISTRY
+
+
+def _toy(spec):
+    if spec.get("boom"):
+        raise ValueError(f"point {spec['n']} exploded")
+    if spec.get("sleep"):
+        time.sleep(spec["sleep"])
+    return {"n": spec["n"], "square": spec["n"] ** 2}
+
+
+# registered at import so fork-started pool workers inherit it
+register_evaluator("toy", _toy, replace=True)
+
+
+def _toy_points(n, **extra):
+    return [{"evaluator": "toy", "n": i, **extra} for i in range(n)]
+
+
+def test_expand_grid_deterministic():
+    grid = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+    assert grid == [{"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+                    {"a": 2, "b": "x"}, {"a": 2, "b": "y"}]
+
+
+def test_sequential_results_in_point_order():
+    result = SweepRunner(jobs=1).run(_toy_points(5))
+    assert [r["value"]["n"] for r in result.records] == list(range(5))
+    assert result.summary["errors"] == 0
+    assert result.summary["points"] == 5
+
+
+def test_failure_isolation():
+    """One crashing point yields a structured error record; every other
+    point still completes."""
+    points = _toy_points(4)
+    points[2]["boom"] = True
+    result = SweepRunner(jobs=1).run(points)
+    assert result.summary["errors"] == 1
+    bad = result.records[2]
+    assert bad["status"] == "error"
+    assert bad["value"] is None
+    assert bad["error"]["type"] == "ValueError"
+    assert "point 2 exploded" in bad["error"]["message"]
+    assert "Traceback" in bad["error"]["traceback"]
+    assert [r["value"]["n"] for i, r in enumerate(result.records)
+            if i != 2] == [0, 1, 3]
+
+
+def test_parallel_matches_sequential():
+    """Fan-out must be invisible in the records: same values, same
+    order, regardless of which worker finished first."""
+    points = _toy_points(6)
+    # reverse-staggered sleeps so completion order != point order
+    for i, p in enumerate(points):
+        p["sleep"] = (len(points) - i) * 0.01
+    seq = SweepRunner(jobs=1).run(points)
+    par = SweepRunner(jobs=2).run(points)
+    strip = lambda r: {k: r[k] for k in ("spec", "status", "value", "error")}
+    assert [strip(r) for r in seq.records] == [strip(r) for r in par.records]
+
+
+def test_parallel_failure_isolation():
+    points = _toy_points(4)
+    points[1]["boom"] = True
+    result = SweepRunner(jobs=2).run(points)
+    assert result.summary["errors"] == 1
+    assert result.records[1]["status"] == "error"
+    assert [r["value"]["n"] for i, r in enumerate(result.records)
+            if i != 1] == [0, 2, 3]
+
+
+def test_cache_hits_on_rerun(tmp_path):
+    cache = ResultCache(tmp_path)
+    points = _toy_points(3)
+    cold = SweepRunner(jobs=1, cache=cache).run(points)
+    assert cold.summary == {**cold.summary, "cache_hits": 0,
+                            "cache_misses": 3}
+    warm = SweepRunner(jobs=1, cache=cache).run(points)
+    assert warm.summary["cache_hits"] == 3
+    assert warm.summary["cache_misses"] == 0
+    for a, b in zip(cold.records, warm.records):
+        assert a["value"] == b["value"]
+        assert b["cache_hit"] is True
+        assert b["worker"] is None
+
+
+def test_errors_never_cached(tmp_path):
+    cache = ResultCache(tmp_path)
+    points = _toy_points(2)
+    points[0]["boom"] = True
+    first = SweepRunner(jobs=1, cache=cache).run(points)
+    assert first.summary["errors"] == 1
+    second = SweepRunner(jobs=1, cache=cache).run(points)
+    # the failing point is retried (and fails again); the good one hits
+    assert second.summary["cache_hits"] == 1
+    assert second.records[0]["status"] == "error"
+    assert second.records[0]["cache_hit"] is False
+
+
+def test_partial_sweep_resumes(tmp_path):
+    """A sweep interrupted partway resumes: already-computed points are
+    served from the cache, only the remainder executes."""
+    cache = ResultCache(tmp_path)
+    SweepRunner(jobs=1, cache=cache).run(_toy_points(2))
+    result = SweepRunner(jobs=1, cache=cache).run(_toy_points(5))
+    assert result.summary["cache_hits"] == 2
+    assert result.summary["cache_misses"] == 3
+    assert [r["value"]["n"] for r in result.records] == list(range(5))
+
+
+def test_progress_reporting():
+    seen = []
+    runner = SweepRunner(jobs=1,
+                         progress=lambda done, total, el: seen.append(
+                             (done, total)))
+    runner.run(_toy_points(3))
+    assert seen[0] == (0, 3)
+    assert seen[-1] == (3, 3)
+    assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+
+def test_unknown_evaluator_is_structured_error():
+    result = SweepRunner(jobs=1).run([{"evaluator": "nonsense"}])
+    assert result.records[0]["status"] == "error"
+    assert result.records[0]["error"]["type"] == "TapasError"
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(TapasError):
+        register_evaluator("toy", _toy)
+
+
+# -- the built-in workload evaluator --------------------------------------
+
+def test_workload_evaluator_end_to_end(tmp_path):
+    cache = ResultCache(tmp_path)
+    points = workload_points(["fibonacci"], tiles=[1, 2], scales=1,
+                             engines=["event", "dense"])
+    assert len(points) == 4
+    result = SweepRunner(jobs=1, cache=cache).run(points)
+    assert result.summary["errors"] == 0
+    values = result.values
+    # engines bit-identical per tile count, scaling visible across tiles
+    by_point = {(v["tiles"], v["engine"]): v["cycles"] for v in values}
+    assert by_point[(1, "event")] == by_point[(1, "dense")]
+    assert by_point[(2, "event")] == by_point[(2, "dense")]
+    # a warm re-run replays identical values from the cache
+    warm = SweepRunner(jobs=1, cache=cache).run(points)
+    assert warm.summary["cache_hits"] == 4
+    assert warm.values == values
+
+
+def test_workload_result_picklable():
+    """Workload.run results cross process boundaries: no live simulator
+    or component references allowed in the result object."""
+    workload = REGISTRY.get("fibonacci")
+    result = workload.run(workload.default_config(2), scale=1)
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.cycles == result.cycles
+    assert clone.stats == result.stats
+    assert clone.correct is True

@@ -175,6 +175,45 @@ class TestObservability:
         assert "saxpy: OK" in out
         assert "Cycle accounting (per component)" in out
 
+    def test_sweep_runs_grid_and_caches(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "sweep.json"
+        argv = ["sweep", "--workloads", "fibonacci", "--tiles", "1,2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(out_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "2 points" in cold and "0 cache hit(s)" in cold
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == 3
+        assert document["sweep"]["cache_misses"] == 2
+        assert all(r["cycles"] > 0 for r in document["records"])
+        # second run: every point served from the cache
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "2 cache hit(s)" in warm
+        warm_doc = json.loads(out_path.read_text())
+        assert warm_doc["sweep"]["cache_hits"] == 2
+        assert [r["cycles"] for r in warm_doc["records"]] == \
+            [r["cycles"] for r in document["records"]]
+
+    def test_sweep_no_cache(self, tmp_path, capsys):
+        argv = ["sweep", "--workloads", "saxpy", "--no-cache",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "1 cache hit(s)" not in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_workload(self, capsys):
+        assert main(["sweep", "--workloads", "nope"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_scales(self, capsys):
+        assert main(["sweep", "--workloads", "saxpy",
+                     "--scales", "bogus"]) == 1
+        assert "bad --scales entry" in capsys.readouterr().err
+
 
 class TestErrors:
     def test_missing_file(self, capsys):
