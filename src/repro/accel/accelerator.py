@@ -189,16 +189,25 @@ class Accelerator:
         return stats
 
 
-def _analysis_gate(design, level: str, module_name: str):
-    """Run the static race analysis on the generated design and either
-    warn or refuse to elaborate, per ``AcceleratorConfig.analysis_level``."""
+def _analysis_gate(design, level: str, module_name: str, config=None):
+    """Run the static race analysis and the hardware lint on the generated
+    design and either warn or refuse to elaborate, per
+    ``AcceleratorConfig.analysis_level``.
+
+    The lint runs without a designated entry, so its deadlock rule hardens
+    to an error for any task that can never complete once spawned — such a
+    design needs ``analysis_level="none"`` (and a bounded ``max_cycles``)
+    to be elaborated at all.
+    """
     import sys
 
     from repro.analysis import analyze_design
     from repro.analysis.diagnostics import SEVERITY_ERROR, SEVERITY_WARNING
+    from repro.analysis.lint import lint_design
     from repro.errors import AnalysisError
 
     report = analyze_design(design)
+    report.extend(lint_design(design, config=config))
     threshold = SEVERITY_ERROR if level == "warn" else SEVERITY_WARNING
     if report.fails(threshold):
         raise AnalysisError(
@@ -218,5 +227,6 @@ def build_accelerator(module: Module, config: Optional[AcceleratorConfig] = None
     config = config or AcceleratorConfig()
     design = generate(module)
     if config.analysis_level != "none":
-        _analysis_gate(design, config.analysis_level, module.name)
+        _analysis_gate(design, config.analysis_level, module.name,
+                       config=config)
     return Accelerator(design, config, trace=trace, observer=observer)

@@ -16,6 +16,18 @@ units sharing the cache. This package analyses the extracted task graph
   severities, source locations, text/JSON renderers).
 * :mod:`repro.analysis.dynamic` — a trace-based dynamic checker that
   cross-validates the static verdicts against a simulation run.
+
+A second, hardware-facing layer lints the design that would be generated
+(surfaced as ``repro lint``):
+
+* :mod:`repro.analysis.ranges`  — interprocedural value-range analysis
+  with widening/narrowing; infers minimal bitwidths per value, register
+  cell and spawn channel (drives the width-aware resource reports).
+* :mod:`repro.analysis.netlist` — channel-graph verification of the
+  elaborated component network (dangling channels, unreachable blocks,
+  communication cycles and their aggregate buffering).
+* :mod:`repro.analysis.lint`    — the rule registry joining the two:
+  TAP-NET-* / TAP-WIDTH-* diagnostics, plus the build-gate hook.
 """
 
 from repro.analysis.diagnostics import (
@@ -25,6 +37,13 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     DiagnosticReport,
 )
+from repro.analysis.lint import (
+    LintRule,
+    lint_accelerator,
+    lint_design,
+    lint_rules,
+)
+from repro.analysis.netlist import build_channel_graph, verify_netlist
 from repro.analysis.races import (
     RaceFinding,
     analyze_design,
@@ -32,10 +51,20 @@ from repro.analysis.races import (
     analyze_task_graph,
     find_races,
 )
+from repro.analysis.ranges import (
+    Interval,
+    ModuleRanges,
+    bits_for,
+    infer_design_ranges,
+    infer_module_ranges,
+)
 
 __all__ = [
     "Diagnostic",
     "DiagnosticReport",
+    "Interval",
+    "LintRule",
+    "ModuleRanges",
     "RaceFinding",
     "SEVERITY_ERROR",
     "SEVERITY_INFO",
@@ -43,5 +72,13 @@ __all__ = [
     "analyze_design",
     "analyze_module",
     "analyze_task_graph",
+    "bits_for",
+    "build_channel_graph",
     "find_races",
+    "infer_design_ranges",
+    "infer_module_ranges",
+    "lint_accelerator",
+    "lint_design",
+    "lint_rules",
+    "verify_netlist",
 ]

@@ -19,7 +19,31 @@ TAP-MEM-001     info      a pointer could not be resolved to a base object;
 TAP-SYNC-001    warning   a spawn subtree is never joined by a sync on some
                           path (reserved; structural syncs are also checked
                           by the IR verifier)
+TAP-NET-001     error     spawn-channel endpoint mismatch (return pointer or
+                          argument type disagrees with the callee task)
+TAP-NET-002     warning   dead task: a function's task unit is never spawned
+                          or called from the designated entry
+TAP-NET-003     varies    channel cycle through the spawn network; info when
+                          the task queues are sized for recursion, warning
+                          when the configured depth is below the sizing
+                          pass's recommendation (under-buffered cycle)
+TAP-NET-004     error     certain deadlock: every execution of the entry
+                          must spawn an unboundedly recursive task chain
+TAP-NET-005     info      static task-queue occupancy bound derived from the
+                          spawn structure
+TAP-NET-006     warning   netlist structure: dangling channel or component
+                          unreachable from the host interface
+TAP-WIDTH-001   info      spawn-channel payload provably narrower than its
+                          declared width (channel narrowing opportunity)
+TAP-WIDTH-002   info      register/frame cell provably narrower than its
+                          declared type (datapath narrowing opportunity)
+TAP-WIDTH-003   warning   possibly lossy trunc: the inferred source range
+                          does not fit the target type
 ==============  ========  ====================================================
+
+The ``TAP-NET-*`` / ``TAP-WIDTH-*`` rules are produced by the hardware
+lint layer (:mod:`repro.analysis.lint`) on top of the value-range and
+netlist analyses; ``repro lint`` is their CLI surface.
 """
 
 from __future__ import annotations

@@ -1,0 +1,212 @@
+"""Static verification of the elaborated component/channel netlist.
+
+TAPAS elaborates a network of task units, arbiters, demuxes, data boxes
+and memory blocks joined by latency-insensitive channels (paper §III-C).
+Task-parallel HLS flows (TAPA, Chi et al.) verify this graph *before*
+synthesis or simulation: dangling channels, unreachable blocks and
+under-buffered communication cycles are all cheaper to find structurally
+than by watching a simulation hang.  This module builds a directed
+channel graph from each component's declared :meth:`Component.ports` and
+checks it; rule severities and the surrounding design-level rules live in
+:mod:`repro.analysis.lint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+
+
+@dataclass
+class ChannelGraph:
+    """Directed wiring of one elaborated simulator.
+
+    ``producers``/``consumers`` map a channel to the components that push
+    to / pop from it. ``opaque`` components did not declare ports; their
+    sensitivity channels are excluded from dangling checks.
+    """
+
+    components: List[object] = field(default_factory=list)
+    channels: List[object] = field(default_factory=list)
+    producers: Dict[object, List[object]] = field(default_factory=dict)
+    consumers: Dict[object, List[object]] = field(default_factory=dict)
+    opaque: List[object] = field(default_factory=list)
+    #: channels driven or drained outside the netlist (e.g. host_spawn)
+    external: Set[object] = field(default_factory=set)
+
+    def successors(self, component) -> List[object]:
+        """Components fed by any output channel of ``component``."""
+        out: List[object] = []
+        ports = component.ports()
+        if ports is None:
+            return out
+        for channel in ports[1]:
+            out.extend(self.consumers.get(channel, ()))
+        return out
+
+
+def build_channel_graph(sim, external: Sequence[object] = ()) -> ChannelGraph:
+    """Wire up the graph from a :class:`~repro.sim.engine.Simulator`."""
+    graph = ChannelGraph(components=list(sim.components),
+                         channels=list(sim.channels),
+                         external=set(external))
+    opaque_touches: Set[object] = set()
+    for component in sim.components:
+        ports = component.ports()
+        if ports is None:
+            graph.opaque.append(component)
+            touched = component.sensitivity() or ()
+            opaque_touches.update(touched)
+            continue
+        inputs, outputs = ports
+        for channel in inputs:
+            graph.consumers.setdefault(channel, []).append(component)
+        for channel in outputs:
+            graph.producers.setdefault(channel, []).append(component)
+    # a channel touched by an opaque component may be driven/drained by it:
+    # treat it as external so it cannot be reported dangling
+    graph.external.update(opaque_touches)
+    return graph
+
+
+def find_component_cycles(graph: ChannelGraph) -> List[List[object]]:
+    """Strongly connected components of the component graph with >= 2
+    members or a self-loop — each is a communication cycle that can
+    deadlock if aggregate buffering is insufficient."""
+    index: Dict[object, int] = {}
+    lowlink: Dict[object, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[object] = []
+    counter = [0]
+    sccs: List[List[object]] = []
+
+    def strongconnect(node):
+        # iterative Tarjan (recursion depth can exceed Python's limit on
+        # wide designs)
+        work = [(node, iter(graph.successors(node)))]
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(id(node))
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(id(succ))
+                    work.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+                if id(succ) in on_stack:
+                    lowlink[current] = min(lowlink[current], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index[current]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(id(member))
+                    scc.append(member)
+                    if member is current:
+                        break
+                if len(scc) > 1 or any(
+                        member in graph.successors(member) for member in scc):
+                    sccs.append(sorted(scc, key=lambda c: c.name))
+
+    for component in graph.components:
+        if component not in index:
+            strongconnect(component)
+    sccs.sort(key=lambda scc: scc[0].name)
+    return sccs
+
+
+def cycle_buffering(graph: ChannelGraph, scc: Sequence[object]) -> int:
+    """Aggregate buffer slots available inside the cycle: capacities of
+    channels with both endpoints in the SCC, plus component-internal
+    queues (task queues, arbiter/demux pipeline registers)."""
+    members = set(map(id, scc))
+    slots = 0
+    for channel in graph.channels:
+        made_here = any(id(c) in members for c in graph.producers.get(channel, ()))
+        used_here = any(id(c) in members for c in graph.consumers.get(channel, ()))
+        if made_here and used_here:
+            slots += channel.capacity
+    for component in scc:
+        queue = getattr(component, "queue", None)
+        if queue is not None and hasattr(queue, "depth"):
+            slots += queue.depth
+        levels = getattr(component, "levels", None)
+        if levels is not None:
+            slots += levels + 1  # bounded in-flight _pipe entries
+    return slots
+
+
+def reachable_components(graph: ChannelGraph,
+                         sources: Sequence[object]) -> Set[int]:
+    """ids of components reachable (along channel direction) from the
+    consumers of the ``sources`` channels."""
+    seen: Set[int] = set()
+    stack: List[object] = []
+    for channel in sources:
+        stack.extend(graph.consumers.get(channel, ()))
+    while stack:
+        component = stack.pop()
+        if id(component) in seen:
+            continue
+        seen.add(id(component))
+        stack.extend(graph.successors(component))
+    return seen
+
+
+def verify_netlist(sim, external: Sequence[object] = (),
+                   sources: Optional[Sequence[object]] = None) -> List[Diagnostic]:
+    """Structural checks on an elaborated simulator: dangling channels and
+    components unreachable from the external entry channels. Returns
+    ``TAP-NET-006`` diagnostics; cycle-buffering verdicts are computed by
+    the lint layer, which also knows the task sizing."""
+    graph = build_channel_graph(sim, external=external)
+    findings: List[Diagnostic] = []
+
+    for channel in graph.channels:
+        if channel in graph.external:
+            continue
+        has_producer = bool(graph.producers.get(channel))
+        has_consumer = bool(graph.consumers.get(channel))
+        if has_producer and has_consumer:
+            continue
+        missing = []
+        if not has_producer:
+            missing.append("no producer")
+        if not has_consumer:
+            missing.append("no consumer")
+        findings.append(Diagnostic(
+            code="TAP-NET-006",
+            message=(f"channel '{channel.name}' is dangling: "
+                     f"{' and '.join(missing)}"),
+            data={"channel": channel.name,
+                  "capacity": channel.capacity,
+                  "missing": missing},
+        ))
+
+    if sources:
+        reachable = reachable_components(graph, sources)
+        for component in graph.components:
+            if component in graph.opaque:
+                continue
+            if id(component) not in reachable:
+                findings.append(Diagnostic(
+                    code="TAP-NET-006",
+                    message=(f"component '{component.name}' is unreachable "
+                             "from the host spawn interface"),
+                    data={"component": component.name},
+                ))
+    return findings

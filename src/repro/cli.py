@@ -5,6 +5,8 @@ Subcommands mirror the toolchain stages:
 * ``compile``   — source file -> printed parallel IR
 * ``taskgraph`` — source file -> task-graph summary (or DOT with --dot)
 * ``analyze``   — source file -> static race/dependence diagnostics
+* ``lint``      — source file -> hardware lint: value ranges/bitwidths,
+  spawn-network and netlist verification (TAP-NET-*/TAP-WIDTH-* rules)
 * ``emit``      — source file -> Chisel-flavoured or Verilog RTL
 * ``estimate``  — source file -> resources / fmax / power per board
 * ``run``       — execute a registered workload and report cycles
@@ -67,17 +69,54 @@ def cmd_taskgraph(args) -> int:
     return 0
 
 
+#: ``--fail-on`` spelling -> diagnostic severity ("note" is the render_text
+#: name for info-severity findings)
+_FAIL_ON = {"note": "info", "warning": "warning", "error": "error"}
+
+
+def _report_exit(report, module_name: str, fmt: str, fail_on: str) -> int:
+    """Shared ``analyze``/``lint`` tail: render, then exit 1 iff any
+    diagnostic is at/above the ``--fail-on`` severity (0 otherwise)."""
+    if fmt == "json":
+        print(report.render_json(module_name))
+    else:
+        print(report.render_text(module_name))
+    return 1 if report.fails(_FAIL_ON[fail_on]) else 0
+
+
 def cmd_analyze(args) -> int:
     from repro.analysis import analyze_design
 
     module = _load_module(args.source)
     design = generate(module)
     report = analyze_design(design)
-    if args.format == "json":
-        print(report.render_json(module.name))
-    else:
-        print(report.render_text(module.name))
-    return 1 if report.fails(args.fail_on) else 0
+    return _report_exit(report, module.name, args.format, args.fail_on)
+
+
+def cmd_lint(args) -> int:
+    from repro.accel.accelerator import Accelerator
+    from repro.analysis.lint import lint_design
+
+    module = _load_module(args.source)
+    design = generate(module)
+    entry = args.entry or (module.functions[0].name if module.functions else None)
+    config = AcceleratorConfig(default_ntiles=args.tiles,
+                               analysis_level="none")
+    if args.queue_depth:
+        from repro.accel.config import TaskUnitParams
+
+        config.unit_params = {
+            task.name: TaskUnitParams(ntiles=args.tiles,
+                                      queue_depth=args.queue_depth)
+            for task in design.graph.tasks}
+    accelerator = None
+    if not args.no_netlist:
+        # elaborate (but never run) the accelerator so the netlist-scope
+        # rules can verify the real component/channel graph
+        accelerator = Accelerator(design, config)
+    report = lint_design(design, entry=entry, config=config,
+                         accelerator=accelerator)
+    return _report_exit(report, module.name, args.format, args.fail_on)
 
 
 def cmd_emit(args) -> int:
@@ -93,7 +132,8 @@ def cmd_estimate(args) -> int:
     module = _load_module(args.source)
     config = AcceleratorConfig(default_ntiles=args.tiles)
     accel = build_accelerator(module, config)
-    report = estimate_resources(accel, include_cache=args.include_cache)
+    report = estimate_resources(accel, include_cache=args.include_cache,
+                                width_aware=args.width_aware)
     rows = []
     for board in (CYCLONE_V, ARRIA_10):
         mhz = estimate_mhz(board, report.alms)
@@ -413,10 +453,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="static determinacy-race / dependence analysis")
     p.add_argument("source")
     p.add_argument("--format", choices=["text", "json"], default="text")
-    p.add_argument("--fail-on", choices=["warning", "error"], default="error",
-                   help="exit nonzero if any diagnostic at or above this "
-                        "severity is reported")
+    p.add_argument("--fail-on", choices=["note", "warning", "error"],
+                   default="error",
+                   help="exit 1 if any diagnostic at or above this severity "
+                        "is reported, 0 otherwise")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "lint",
+        help="hardware lint: bitwidth inference + netlist verification")
+    p.add_argument("source")
+    p.add_argument("--entry", help="entry function (default: first function)")
+    p.add_argument("--tiles", type=int, default=1)
+    p.add_argument("--queue-depth", type=int, default=0,
+                   help="override every task-queue depth (exercises the "
+                        "cycle-buffering rule)")
+    p.add_argument("--no-netlist", action="store_true",
+                   help="design-scope rules only; skip elaborating the "
+                        "component netlist")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--fail-on", choices=["note", "warning", "error"],
+                   default="error",
+                   help="exit 1 if any diagnostic at or above this severity "
+                        "is reported, 0 otherwise")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("emit", help="emit generated RTL")
     p.add_argument("source")
@@ -428,6 +488,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("source")
     p.add_argument("--tiles", type=int, default=1)
     p.add_argument("--include-cache", action="store_true")
+    p.add_argument("--width-aware", action="store_true",
+                   help="size integer datapaths and Args RAM by the "
+                        "inferred value ranges instead of declared widths")
     p.set_defaults(func=cmd_estimate)
 
     p = sub.add_parser("run", help="run a registered workload")

@@ -76,6 +76,9 @@ class RoundRobinArbiter(Component):
     def sensitivity(self):
         return tuple(self.inputs) + (self.output,)
 
+    def ports(self):
+        return (tuple(self.inputs), (self.output,))
+
     def next_wake(self, cycle):
         return _pipe_wake(self._pipe, cycle)
 
@@ -132,6 +135,9 @@ class Demux(Component):
 
     def sensitivity(self):
         return (self.input,) + tuple(self.outputs)
+
+    def ports(self):
+        return ((self.input,), tuple(self.outputs))
 
     def next_wake(self, cycle):
         return _pipe_wake(self._pipe, cycle)

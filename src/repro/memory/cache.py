@@ -263,6 +263,10 @@ class Cache(Component):
         return (self.request_in, self.response_out,
                 self.dram_request, self.dram_response)
 
+    def ports(self):
+        return ((self.request_in, self.dram_response),
+                (self.response_out, self.dram_request))
+
     def next_wake(self, cycle):
         # the only pure timer is the hit-latency countdown of the head
         # ready-response (sends are head-only and in order, so entries

@@ -117,6 +117,10 @@ class DataBox(Component):
         return (tuple(self.tile_request) + tuple(self.tile_response)
                 + (self.to_cache, self.from_cache))
 
+    def ports(self):
+        return (tuple(self.tile_request) + (self.from_cache,),
+                tuple(self.tile_response) + (self.to_cache,))
+
     def next_wake(self, cycle):
         # purely channel-driven: every stall resolves via a pop/push on a
         # sensitivity channel, and our own movement this tick re-wakes us

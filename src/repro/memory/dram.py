@@ -58,6 +58,9 @@ class DRAMModel(Component):
     def sensitivity(self):
         return (self.request_in, self.response_out)
 
+    def ports(self):
+        return ((self.request_in,), (self.response_out,))
+
     def next_wake(self, cycle):
         # deadlines are sorted (constant latency), so the head is the next
         # timer. A head already due means this tick either pushed it (our

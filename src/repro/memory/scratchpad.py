@@ -45,6 +45,9 @@ class Scratchpad(Component):
     def sensitivity(self):
         return (self.request_in, self.response_out)
 
+    def ports(self):
+        return ((self.request_in,), (self.response_out,))
+
     def next_wake(self, cycle):
         # constant latency keeps _pipe sorted; a due head was either
         # pushed this tick (our own push wakes us) or is backpressured

@@ -102,18 +102,72 @@ class ResourceReport:
         return 100.0 * self.alms / alm_capacity
 
 
-def _value_bytes(value: Value) -> int:
+def _value_bytes(value: Value, ranges=None) -> int:
+    if ranges is not None:
+        bits = ranges.bits_of(value)
+        if bits is not None:
+            return max(1, min(-(-bits // 8), value.type.size_bytes))
     return max(1, value.type.size_bytes)
 
 
-def _unit_resources(unit, include_suspend_state: bool = True) -> UnitResources:
+#: functional-unit classes whose datapath scales with operand width;
+#: FP units, memory ports and control FSMs are fixed-width blocks
+WIDTH_SCALED_OPS = frozenset({"alu", "mul", "div", "regread", "regwrite"})
+#: narrowest datapath worth instantiating separately
+MIN_OP_BITS = 4
+
+
+def _node_bits(node, ranges) -> Optional[int]:
+    """Datapath width of one DFG node under the inferred ranges: the
+    widest of its (integer) result and operands, None when nothing
+    integer-typed is involved."""
+    from repro.ir.instructions import Load, Store
+    from repro.ir.types import IntType
+
+    inst = node.inst
+    widths = []
+    if node.kind in ("regread", "regwrite"):
+        cell = inst.pointer
+        bits = ranges.cell_bits(cell)
+        if bits is not None:
+            widths.append(bits)
+        if isinstance(inst, Load) and isinstance(inst.type, IntType):
+            declared = inst.type.bits
+            widths = [min(w, declared) for w in widths] or [declared]
+    else:
+        values = [inst] + list(inst.operands)
+        for value in values:
+            if not isinstance(value.type, IntType):
+                continue
+            bits = ranges.bits_of(value)
+            declared = value.type.bits
+            widths.append(min(bits, declared) if bits else declared)
+    if not widths:
+        return None
+    return max(MIN_OP_BITS, max(widths))
+
+
+def _op_cost(node, table, default, ranges) -> int:
+    cost = table.get(node.kind, default)
+    if ranges is None or node.kind not in WIDTH_SCALED_OPS:
+        return cost
+    bits = _node_bits(node, ranges)
+    if bits is None:
+        return cost
+    # LUT/carry-chain area of integer datapaths grows ~linearly in width;
+    # 32 bits is the calibration point of the coefficient table
+    return max(1, round(cost * bits / 32.0))
+
+
+def _unit_resources(unit, include_suspend_state: bool = True,
+                    ranges=None) -> UnitResources:
     compiled = unit.compiled
     op_alms = 0
     op_regs = 0
     for dfg in compiled.dfgs.values():
         for node in dfg.nodes:
-            op_alms += ALM_PER_OP.get(node.kind, 30)
-            op_regs += REG_PER_OP.get(node.kind, 40)
+            op_alms += _op_cost(node, ALM_PER_OP, 30, ranges)
+            op_regs += _op_cost(node, REG_PER_OP, 40, ranges)
 
     ntiles = len(unit.tiles)
     tile_alms = ntiles * (ALM_TILE_BASE + op_alms)
@@ -122,7 +176,7 @@ def _unit_resources(unit, include_suspend_state: bool = True) -> UnitResources:
     memnet_regs = ntiles * REG_MEMNET_PER_TILE
 
     # queue storage: Args RAM + metadata + suspended context, in M20Ks
-    args_bytes = sum(_value_bytes(v) for v in compiled.arg_values)
+    args_bytes = sum(_value_bytes(v, ranges) for v in compiled.arg_values)
     entry_bytes = args_bytes + QUEUE_META_BYTES
     if include_suspend_state and compiled.task.spawns_anything():
         entry_bytes += SUSPEND_STATE_BYTES
@@ -144,13 +198,26 @@ def _unit_resources(unit, include_suspend_state: bool = True) -> UnitResources:
 
 
 def estimate_resources(accel: Accelerator,
-                       include_cache: bool = False) -> ResourceReport:
+                       include_cache: bool = False,
+                       width_aware: bool = False,
+                       ranges=None) -> ResourceReport:
     """Estimate post-synthesis resources for an elaborated accelerator.
 
     ``include_cache`` adds the shared L1's data-array M20Ks (Table V
     reports them; Table III/IV count only the task logic).
+
+    ``width_aware`` sizes integer datapaths and Args RAM entries by the
+    bitwidths the value-range analysis proves sufficient instead of the
+    declared (uniform 32/64-bit) type widths; pass ``ranges`` to reuse an
+    existing :class:`~repro.analysis.ranges.ModuleRanges`.
     """
-    units = [_unit_resources(u) for u in accel.units]
+    if width_aware and ranges is None:
+        from repro.analysis.ranges import infer_design_ranges
+
+        ranges = infer_design_ranges(accel.design)
+    if not width_aware:
+        ranges = None
+    units = [_unit_resources(u, ranges=ranges) for u in accel.units]
     alms = ALM_DESIGN_BASE + sum(u.ctrl_alms + u.tile_alms + u.memnet_alms
                                  for u in units)
     regs = REG_DESIGN_BASE + sum(u.ctrl_regs + u.tile_regs + u.memnet_regs

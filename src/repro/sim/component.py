@@ -88,6 +88,14 @@ class Component:
         down). Used by deadlock detection."""
         return False
 
+    def ports(self):
+        """Directed channel endpoints for the static netlist verifier:
+        ``(inputs, outputs)`` — channels this component pops from and
+        pushes to. Return ``None`` (the default) when the component does
+        not declare its wiring; the verifier then treats it as opaque and
+        will not report its channels as dangling."""
+        return None
+
     def stats(self) -> dict:
         """Per-component statistics merged into the simulation report."""
         return {}

@@ -274,6 +274,14 @@ class TaskUnit(Component):
             channels.append(tile.response_in)
         return tuple(channels)
 
+    def ports(self):
+        inputs = [self.spawn_in, self.join_in]
+        outputs = [self.spawn_out, self.join_out]
+        for tile in self.tiles:
+            outputs.append(tile.request_out)
+            inputs.append(tile.response_in)
+        return (tuple(inputs), tuple(outputs))
+
     def next_wake(self, cycle):
         # pending joins and root completion advance without any channel
         # movement, one per cycle

@@ -119,6 +119,13 @@ class TXUTile:
     """One execution tile. Not a Component itself — the owning TaskUnit
     ticks it so unit-level arbitration stays in one place."""
 
+    #: optional hook ``(ir_value, observed) -> None`` called whenever a
+    #: dataflow node produces a value (or a register cell is written —
+    #: then ``ir_value`` is the Alloca).  Used by the range checker to
+    #: cross-validate static intervals against execution; None (the
+    #: default) costs one attribute test per fired node.
+    value_probe = None
+
     def __init__(self, unit, tile_index: int, compiled: CompiledTask,
                  request_out, response_in, max_inflight: int = 8,
                  latencies: Optional[Dict[str, int]] = None):
@@ -161,6 +168,8 @@ class TXUTile:
             inst = Instance(uid, entry, self.compiled.entry_block)
             for value, arg in zip(self.compiled.arg_values, entry.args):
                 inst.env[value] = arg
+                if self.value_probe is not None:
+                    self.value_probe(value, arg)
         inst.block_entry_cycle = cycle
         self.instances.append(inst)
         self._by_uid[inst.uid] = inst
@@ -234,6 +243,8 @@ class TXUTile:
         node = self.compiled.dfg(inst.block).nodes[node_idx]
         if isinstance(node.inst, Load):
             inst.env[node.inst] = raw_to_value(node.inst.type, resp.data or 0)
+            if self.value_probe is not None:
+                self.value_probe(node.inst, inst.env[node.inst])
         inst.node_done[node_idx] = cycle
 
     def deliver_call_return(self, uid: int, node_idx: int, retval, cycle: int,
@@ -250,6 +261,8 @@ class TXUTile:
         node = self.compiled.dfg(inst.block).nodes[node_idx]
         if not node.inst.type.is_void():
             inst.env[node.inst] = retval
+            if self.value_probe is not None:
+                self.value_probe(node.inst, retval)
         inst.node_done[node_idx] = cycle
 
     # -- per-instance dataflow step ------------------------------------------
@@ -383,6 +396,12 @@ class TXUTile:
                 base, [self._resolve(inst, i) for i in ir.indices], ir.strides)
         else:
             raise SimulationError(f"TXU cannot execute {ir.opcode}")
+
+        if self.value_probe is not None:
+            if kind == "regwrite":
+                self.value_probe(ir.pointer, inst.regs[ir.pointer])
+            elif kind != "nop" and ir in env:
+                self.value_probe(ir, env[ir])
 
         inst.node_done[node.index] = cycle + self._latency(kind)
         return True

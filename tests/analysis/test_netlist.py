@@ -1,0 +1,157 @@
+"""Channel-graph construction and structural netlist verification, on
+synthetic simulators and on real elaborated accelerators."""
+
+from repro.accel import AcceleratorConfig, build_accelerator
+from repro.analysis.netlist import (
+    build_channel_graph,
+    cycle_buffering,
+    find_component_cycles,
+    reachable_components,
+    verify_netlist,
+)
+from repro.frontend import compile_source
+from repro.sim import Component, Simulator
+
+
+class Stage(Component):
+    """Test double declaring its wiring through ports()."""
+
+    def __init__(self, name, ins=(), outs=()):
+        super().__init__(name)
+        self.ins, self.outs = tuple(ins), tuple(outs)
+
+    def ports(self):
+        return (self.ins, self.outs)
+
+
+class Opaque(Component):
+    """Keeps the base ports() -> None: undeclared wiring."""
+
+
+def _pipeline():
+    """host -> [entry] -> a -> [mid] -> b -> [tail]."""
+    sim = Simulator("pipe")
+    entry = sim.add_channel("entry")
+    a = sim.add_channel("a")
+    b = sim.add_channel("b")
+    sim.add_component(Stage("front", ins=[entry], outs=[a]))
+    sim.add_component(Stage("mid", ins=[a], outs=[b]))
+    sim.add_component(Stage("tail", ins=[b], outs=[]))
+    return sim, entry
+
+
+def test_clean_pipeline_verifies():
+    sim, entry = _pipeline()
+    findings = verify_netlist(sim, external=[entry], sources=[entry])
+    assert findings == []
+
+
+def test_dangling_channel_reported():
+    sim, entry = _pipeline()
+    sim.add_channel("orphan")  # nobody produces or consumes it
+    findings = verify_netlist(sim, external=[entry], sources=[entry])
+    assert len(findings) == 1
+    diag = findings[0]
+    assert diag.code == "TAP-NET-006"
+    assert diag.data["channel"] == "orphan"
+    assert set(diag.data["missing"]) == {"no producer", "no consumer"}
+
+
+def test_half_dangling_channel_reported():
+    sim, entry = _pipeline()
+    stray = sim.add_channel("stray")
+    sim.add_component(Stage("writer", ins=[], outs=[stray]))
+    findings = verify_netlist(sim, external=[entry], sources=[entry])
+    codes = {(d.code, d.data.get("channel")) for d in findings
+             if "channel" in d.data}
+    assert ("TAP-NET-006", "stray") in codes
+    stray_diag = next(d for d in findings if d.data.get("channel") == "stray")
+    assert stray_diag.data["missing"] == ["no consumer"]
+
+
+def test_unreachable_component_reported():
+    sim, entry = _pipeline()
+    loop = sim.add_channel("loop")
+    sim.add_component(Stage("island", ins=[loop], outs=[loop]))
+    findings = verify_netlist(sim, external=[entry], sources=[entry])
+    unreachable = [d for d in findings if "component" in d.data]
+    assert [d.data["component"] for d in unreachable] == ["island"]
+
+
+def test_opaque_component_never_reported():
+    sim, entry = _pipeline()
+    sim.add_component(Opaque("mystery"))
+    findings = verify_netlist(sim, external=[entry], sources=[entry])
+    assert findings == []
+
+
+def test_external_channel_not_dangling():
+    """The host-spawn channel has no in-sim producer; marking it external
+    suppresses the dangling report."""
+    sim, entry = _pipeline()
+    assert verify_netlist(sim, external=[entry], sources=[entry]) == []
+    with_report = verify_netlist(sim, external=[], sources=[entry])
+    assert any(d.data.get("channel") == "entry" for d in with_report)
+
+
+def test_cycle_detection_and_buffering():
+    sim = Simulator("ring")
+    entry = sim.add_channel("entry")
+    fwd = sim.add_channel("fwd", capacity=4)
+    back = sim.add_channel("back", capacity=3)
+    ping = Stage("ping", ins=[entry, back], outs=[fwd])
+    pong = Stage("pong", ins=[fwd], outs=[back])
+    ping.queue = type("Q", (), {"depth": 8})()
+    sim.add_component(ping)
+    sim.add_component(pong)
+    graph = build_channel_graph(sim, external=[entry])
+    cycles = find_component_cycles(graph)
+    assert len(cycles) == 1
+    assert sorted(c.name for c in cycles[0]) == ["ping", "pong"]
+    # both ring channels plus ping's internal queue buffer the cycle
+    assert cycle_buffering(graph, cycles[0]) == 4 + 3 + 8
+
+
+def test_acyclic_graph_has_no_cycles():
+    sim, entry = _pipeline()
+    graph = build_channel_graph(sim, external=[entry])
+    assert find_component_cycles(graph) == []
+
+
+def test_reachability_follows_channel_direction():
+    sim, entry = _pipeline()
+    graph = build_channel_graph(sim, external=[entry])
+    seen = reachable_components(graph, [entry])
+    names = {c.name for c in sim.components if id(c) in seen}
+    assert names == {"front", "mid", "tail"}
+
+
+SAXPY = """
+func saxpy(a: i32, x: i32*, y: i32*, n: i32) {
+  cilk_for (var i: i32 = 0; i < n; i = i + 1) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+"""
+
+
+def test_real_accelerator_netlist_is_clean():
+    """Every channel the elaborator wires must have both endpoints, and
+    every declared component must be reachable from the host spawn."""
+    module = compile_source(SAXPY, "saxpy")
+    accel = build_accelerator(module, AcceleratorConfig())
+    host = accel.network.host_spawn
+    assert verify_netlist(accel.sim, external=[host], sources=[host]) == []
+
+
+def test_real_accelerator_task_network_is_cyclic():
+    """Task units and the spawn network form request/response rings by
+    construction — the cycle finder must see at least one SCC, and the
+    lint layer's buffering measure must be positive."""
+    module = compile_source(SAXPY, "saxpy")
+    accel = build_accelerator(module, AcceleratorConfig())
+    graph = build_channel_graph(accel.sim,
+                                external=[accel.network.host_spawn])
+    cycles = find_component_cycles(graph)
+    assert cycles
+    assert all(cycle_buffering(graph, scc) > 0 for scc in cycles)

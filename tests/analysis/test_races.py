@@ -174,7 +174,12 @@ class TestGate:
         module = compile_source(RACY_ACCUMULATOR, "racy_sum")
         with pytest.raises(AnalysisError) as excinfo:
             build_accelerator(module, AcceleratorConfig(analysis_level="warn"))
-        assert len(excinfo.value.diagnostics) == 2
+        # the gate report merges both analysis layers; the refusal is
+        # driven by exactly the two definite-race errors
+        errors = [d for d in excinfo.value.diagnostics
+                  if d.severity == "error"]
+        assert len(errors) == 2
+        assert all(d.code == "TAP-RACE-001" for d in errors)
 
     def test_warn_level_allows_clean_program(self):
         from repro.accel import AcceleratorConfig, build_accelerator

@@ -7,6 +7,7 @@ Corrupted entries are evicted and recomputed, never fatal.
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -114,3 +115,29 @@ def test_wrong_key_entry_evicted(cache):
 def test_canonical_json_rejects_non_json():
     with pytest.raises(TypeError):
         canonical_json({"bad": object()})
+
+
+def test_fingerprint_covers_analysis_package(tmp_path, monkeypatch):
+    """Regression for the static-analysis layer: editing any file under
+    src/repro/analysis/ (here: lint.py) must move the code fingerprint,
+    and with it every cache key — stale sweep results cannot survive a
+    lint-rule change."""
+    import shutil
+
+    import repro.exp.cache as cache_mod
+
+    copy = tmp_path / "repro"
+    shutil.copytree(Path(cache_mod.__file__).resolve().parent.parent, copy)
+    monkeypatch.setattr(cache_mod, "__file__", str(copy / "exp" / "cache.py"))
+
+    monkeypatch.setattr(cache_mod, "_fingerprint", None)
+    before = cache_mod.code_fingerprint()
+
+    lint = copy / "analysis" / "lint.py"
+    assert lint.exists()  # the analysis package is inside the covered tree
+    lint.write_text(lint.read_text(encoding="utf-8") + "\n# edited\n",
+                    encoding="utf-8")
+
+    monkeypatch.setattr(cache_mod, "_fingerprint", None)
+    after = cache_mod.code_fingerprint()
+    assert before != after

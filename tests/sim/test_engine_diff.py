@@ -16,8 +16,13 @@ from repro.frontend import compile_source
 from repro.obs import Observer
 from repro.workloads import REGISTRY
 
-EXAMPLES = sorted(glob.glob(os.path.join(
-    os.path.dirname(__file__), "..", "..", "examples", "programs", "*.cilk")))
+EXAMPLES = sorted(
+    path for path in glob.glob(os.path.join(
+        os.path.dirname(__file__), "..", "..", "examples", "programs",
+        "*.cilk"))
+    # deadlock_* fixtures cannot terminate by design; their engine parity
+    # is covered by the postmortem-equality property tests
+    if "deadlock_" not in os.path.basename(path))
 
 
 def _strip(stats):

@@ -229,3 +229,87 @@ class TestErrors:
     def test_unknown_workload(self, capsys):
         assert main(["run", "nope"]) == 1
         assert "unknown workload" in capsys.readouterr().err
+
+
+class TestLint:
+    @staticmethod
+    def _fixture(name):
+        import os
+
+        return os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "examples", "programs",
+            name + ".cilk")
+
+    def test_lint_clean_program(self, kernel_file, capsys):
+        assert main(["lint", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "double_all" in out or "clean" in out
+
+    def test_lint_deadlock_fixture_fails(self, capsys):
+        assert main(["lint", self._fixture("deadlock_ring")]) == 1
+        out = capsys.readouterr().out
+        assert "TAP-NET-004" in out
+
+    def test_lint_dead_task_fails_on_warning(self, capsys):
+        fixture = self._fixture("dead_task")
+        assert main(["lint", fixture]) == 0  # dead task is only a warning
+        capsys.readouterr()
+        assert main(["lint", fixture, "--fail-on", "warning"]) == 1
+        assert "TAP-NET-002" in capsys.readouterr().out
+
+    def test_lint_fail_on_note(self, capsys):
+        # narrow_sum lints clean of warnings but carries width infos
+        fixture = self._fixture("narrow_sum")
+        assert main(["lint", fixture]) == 0
+        capsys.readouterr()
+        assert main(["lint", fixture, "--fail-on", "note"]) == 1
+        assert "TAP-WIDTH-002" in capsys.readouterr().out
+
+    def test_lint_json_format(self, capsys):
+        import json
+
+        assert main(["lint", self._fixture("deadlock_ring"),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] >= 1
+        assert any(d["code"] == "TAP-NET-004"
+                   for d in payload["diagnostics"])
+
+    def test_lint_queue_depth_override_warns(self, capsys):
+        fixture = self._fixture("fib")
+        assert main(["lint", fixture, "--queue-depth", "4",
+                     "--fail-on", "warning"]) == 1
+        assert "TAP-NET-003" in capsys.readouterr().out
+
+    def test_lint_no_netlist(self, kernel_file, capsys):
+        assert main(["lint", kernel_file, "--no-netlist"]) == 0
+
+    def test_lint_entry_selects_function(self, capsys):
+        # with orphan as the entry, triple_sum becomes the dead task
+        assert main(["lint", self._fixture("dead_task"), "--entry",
+                     "orphan", "--fail-on", "warning"]) == 1
+        out = capsys.readouterr().out
+        assert "triple_sum" in out
+
+    def test_lint_unknown_entry_errors(self, kernel_file, capsys):
+        assert main(["lint", kernel_file, "--entry", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_analyze_fail_on_note(self, tmp_path, capsys):
+        path = tmp_path / "warned.tapas"
+        path.write_text("""
+        func rows(a: i32*, n: i32, m: i32) {
+          cilk_for (var i: i32 = 0; i < n; i = i + 1) {
+            a[i * m] = i;
+          }
+        }
+        """)
+        assert main(["analyze", str(path), "--fail-on", "note"]) == 1
+
+    def test_estimate_width_aware(self, capsys):
+        fixture = self._fixture("narrow_sum")
+        assert main(["estimate", fixture]) == 0
+        uniform = capsys.readouterr().out
+        assert main(["estimate", fixture, "--width-aware"]) == 0
+        aware = capsys.readouterr().out
+        assert uniform != aware
