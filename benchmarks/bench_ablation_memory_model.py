@@ -11,7 +11,6 @@ import sweeplib
 
 from repro.exp import workload_points
 from repro.reports import render_table, sweep_record
-from repro.workloads import REGISTRY
 
 NAMES = ["matrix_add", "saxpy", "stencil", "dedup"]
 MODELS = ("cache", "scratchpad")

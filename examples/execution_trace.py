@@ -10,7 +10,6 @@ Run:  python examples/execution_trace.py
 """
 
 from repro.accel import build_accelerator
-from repro.ir.types import I32
 from repro.reports import execution_timeline, task_graph_dot, utilization_summary
 from repro.sim import Trace
 from repro.workloads import MatrixAdd

@@ -9,7 +9,6 @@ Run:  python examples/nested_loops.py
 """
 
 from repro.accel import generate
-from repro.ir.types import I32
 from repro.reports import estimate_resources
 from repro.rtl import emit_top
 from repro.workloads import MatrixAdd

@@ -14,7 +14,6 @@ from repro.accel.config import AcceleratorConfig
 from repro.accel.generator import GeneratedDesign, generate
 from repro.errors import SynthesisError
 from repro.ir.module import Module
-from repro.ir.values import GlobalVariable
 from repro.memory.arbiter import Demux, RoundRobinArbiter, tree_levels
 from repro.memory.backing import MainMemory
 from repro.memory.cache import Cache
@@ -157,7 +156,6 @@ class Accelerator:
         root = self.unit(function_name)
         root.root_done = False
         root.root_retval = None
-        start_cycle = self.sim.cycle
         self.network.host_spawn.push(SpawnMessage(
             dest_sid=root.sid, args=tuple(args),
             parent_sid=None, parent_dyid=None))

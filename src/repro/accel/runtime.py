@@ -13,11 +13,11 @@ timed by an ARM cost model, with an elapsed-time ledger across both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.accel.accelerator import Accelerator
-from repro.accel.config import AcceleratorConfig, CYCLONE_V
+from repro.accel.config import AcceleratorConfig
 from repro.accel.generator import generate
 from repro.baselines.cpu import CPUCostModel, MulticoreCPU
 from repro.errors import ConfigError

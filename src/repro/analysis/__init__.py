@@ -28,6 +28,18 @@ A second, hardware-facing layer lints the design that would be generated
   communication cycles and their aggregate buffering).
 * :mod:`repro.analysis.lint`    — the rule registry joining the two:
   TAP-NET-* / TAP-WIDTH-* diagnostics, plus the build-gate hook.
+
+A third layer predicts performance without running the simulator
+(surfaced as ``repro predict`` and the ``static`` sweep evaluator):
+
+* :mod:`repro.analysis.perf`      — the analytical throughput model:
+  per-task initiation intervals and critical paths from the compiled
+  DFGs, interprocedural work/span propagation over the spawn graph, and
+  closed-form memory/network bounds; emits a predicted cycle count plus
+  ranked bottlenecks in the stall-ledger vocabulary.
+* :mod:`repro.analysis.perfcheck` — the cross-validation harness that
+  scores those predictions against event-engine runs (rank correlation,
+  relative error, bottleneck-class agreement).
 """
 
 from repro.analysis.diagnostics import (
@@ -44,6 +56,20 @@ from repro.analysis.lint import (
     lint_rules,
 )
 from repro.analysis.netlist import build_channel_graph, verify_netlist
+from repro.analysis.perf import (
+    PerfModel,
+    PerfParams,
+    PredictedBottleneck,
+    Prediction,
+    TaskEstimate,
+)
+from repro.analysis.perfcheck import (
+    CheckRecord,
+    CheckReport,
+    PerfChecker,
+    bottleneck_class,
+    spearman,
+)
 from repro.analysis.races import (
     RaceFinding,
     analyze_design,
@@ -60,12 +86,20 @@ from repro.analysis.ranges import (
 )
 
 __all__ = [
+    "CheckRecord",
+    "CheckReport",
     "Diagnostic",
     "DiagnosticReport",
     "Interval",
     "LintRule",
     "ModuleRanges",
+    "PerfChecker",
+    "PerfModel",
+    "PerfParams",
+    "PredictedBottleneck",
+    "Prediction",
     "RaceFinding",
+    "TaskEstimate",
     "SEVERITY_ERROR",
     "SEVERITY_INFO",
     "SEVERITY_WARNING",
@@ -73,6 +107,7 @@ __all__ = [
     "analyze_module",
     "analyze_task_graph",
     "bits_for",
+    "bottleneck_class",
     "build_channel_graph",
     "find_races",
     "infer_design_ranges",
@@ -80,5 +115,6 @@ __all__ = [
     "lint_accelerator",
     "lint_design",
     "lint_rules",
+    "spearman",
     "verify_netlist",
 ]

@@ -14,7 +14,7 @@ checks it; rule severities and the surrounding design-level rules live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.analysis.diagnostics import Diagnostic
 

@@ -31,7 +31,6 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.function import Function
 from repro.ir.instructions import (
-    GEP,
     Alloca,
     BinaryOp,
     Call,

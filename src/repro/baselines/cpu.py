@@ -48,7 +48,7 @@ from repro.ir.opsem import (
     eval_gep,
     eval_icmp,
 )
-from repro.ir.values import Argument, Constant, GlobalVariable, Value
+from repro.ir.values import Constant, GlobalVariable, Value
 from repro.memory.backing import MainMemory
 from repro.passes.dataflow_graph import classify
 

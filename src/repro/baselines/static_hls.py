@@ -19,7 +19,7 @@ trip count must be a loop bound, not a sentinel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.errors import ConfigError

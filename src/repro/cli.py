@@ -13,6 +13,9 @@ Subcommands mirror the toolchain stages:
 * ``sweep``     — expand a workload × tiles × engine grid and run it
   through the parallel sweep runner (worker processes + the
   content-addressed result cache)
+* ``predict``   — static performance prediction for a source file:
+  predicted cycles + ranked bottlenecks from the analytical model,
+  without running any simulation engine
 * ``profile``   — run a source file under the cycle profiler
 * ``diff``      — run a source file under both simulation engines and
   fail unless cycle counts and stats are bit-identical
@@ -28,7 +31,6 @@ import sys
 
 from repro.accel import (
     ARRIA_10,
-    BOARDS,
     CYCLONE_V,
     AcceleratorConfig,
     build_accelerator,
@@ -282,7 +284,7 @@ def cmd_sweep(args) -> int:
     engines = args.engines.split(",")
     scales = _parse_scales(args.scale, args.scales, names)
     points = workload_points(names, tiles=tiles, scales=scales,
-                             engines=engines)
+                             engines=engines, evaluator=args.evaluator)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = progress_printer() if sys.stderr.isatty() else None
@@ -292,12 +294,14 @@ def cmd_sweep(args) -> int:
     rows = []
     for record in result.records:
         spec = record["spec"]
+        engine = spec["engine"]
         if record["status"] == "ok":
             value = record["value"]
             outcome = value["cycles"]
+            engine = value.get("engine") or engine
         else:
             outcome = f"ERROR: {record['error']['type']}"
-        rows.append([spec["workload"], spec["tiles"], spec["engine"],
+        rows.append([spec["workload"], spec["tiles"], engine,
                      spec["scale"], outcome,
                      "hit" if record["cache_hit"] else "miss",
                      round(record["seconds"], 3)])
@@ -347,6 +351,42 @@ def _default_profile_args(function, memory, size: int):
     return args
 
 
+def cmd_predict(args) -> int:
+    """Static performance prediction — no engine, no run."""
+    from repro.analysis.perf import PerfModel
+    from repro.memory.backing import MainMemory
+
+    module = _load_module(args.source)
+    function = (module.function(args.entry) if args.entry
+                else (module.functions[0] if module.functions else None))
+    if function is None:
+        print("error: no entry function"
+              + (f" named {args.entry!r}" if args.entry else "")
+              + f" in {args.source}", file=sys.stderr)
+        return 1
+
+    config = AcceleratorConfig(default_ntiles=args.tiles)
+    model = PerfModel(module, config=config)
+    entry_args = _default_profile_args(function, MainMemory(), args.size)
+    prediction = model.predict(entry=function.name, config=config,
+                               args=entry_args, size=args.size)
+
+    if args.format == "json":
+        payload = prediction.as_dict()
+        payload["source"] = args.source
+        payload["tiles"] = args.tiles
+        payload["size"] = args.size
+        text = json.dumps(payload, indent=1)
+    else:
+        text = prediction.render_text()
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(json.dumps(prediction.as_dict(), indent=1) + "\n")
+        print(f"prediction written to {args.out}")
+    return 0
+
+
 def cmd_profile(args) -> int:
     from repro.obs import Observer, export_chrome_trace
     from repro.reports import render_profile_report
@@ -356,7 +396,7 @@ def cmd_profile(args) -> int:
     function = (module.function(args.entry) if args.entry
                 else (module.functions[0] if module.functions else None))
     if function is None:
-        print(f"error: no entry function"
+        print("error: no entry function"
               + (f" named {args.entry!r}" if args.entry else "")
               + f" in {args.source}", file=sys.stderr)
         return 1
@@ -396,7 +436,7 @@ def cmd_diff(args) -> int:
     function = (module.function(args.entry) if args.entry
                 else (module.functions[0] if module.functions else None))
     if function is None:
-        print(f"error: no entry function"
+        print("error: no entry function"
               + (f" named {args.entry!r}" if args.entry else "")
               + f" in {args.source}", file=sys.stderr)
         return 1
@@ -518,6 +558,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: all)")
     p.add_argument("--tiles", default="1",
                    help="comma-separated tile counts (default: 1)")
+    p.add_argument("--evaluator", choices=["workload", "static"],
+                   default="workload",
+                   help="who computes each point: the simulator "
+                        "(workload) or the analytical model (static)")
     p.add_argument("--engines", default="event",
                    help="comma-separated engines (default: event)")
     p.add_argument("--scale", type=int, default=1,
@@ -534,6 +578,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="FILE",
                    help="write the schema-3 results document as JSON")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "predict",
+        help="static performance prediction (no simulation run)")
+    p.add_argument("source")
+    p.add_argument("--entry", help="entry function (default: first function)")
+    p.add_argument("--tiles", type=int, default=1)
+    p.add_argument("--size", type=int, default=12,
+                   help="synthetic input size (pointer args get arrays "
+                        "of this length; also the fallback trip count)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--out", metavar="FILE",
+                   help="also write the prediction JSON to FILE")
+    p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser("profile",
                        help="run a source file under the cycle profiler")

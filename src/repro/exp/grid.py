@@ -37,19 +37,23 @@ def workload_points(workloads: Iterable[str],
                     scales: Union[int, Mapping[str, int]] = 1,
                     engines: Iterable[str] = ("event",),
                     overrides: Optional[Dict[str, Any]] = None,
+                    evaluator: str = "workload",
                     ) -> List[Dict[str, Any]]:
-    """Point specs for the built-in ``workload`` evaluator.
+    """Point specs for the built-in workload-shaped evaluators.
 
     ``scales`` is either one scale for every workload or a per-workload
     mapping (the usual shape: recursive benchmarks need smaller inputs
-    than streaming ones).
+    than streaming ones).  ``evaluator`` selects who computes the point:
+    ``"workload"`` runs the simulator, ``"static"`` the analytical
+    performance model (same spec shape, so the two sweeps share a grid
+    and line up record-for-record).
     """
     points = []
     for name in workloads:
         scale = scales if isinstance(scales, int) else scales[name]
         for combo in expand_grid({"tiles": tiles, "engine": engines}):
             spec: Dict[str, Any] = {
-                "evaluator": "workload", "workload": name,
+                "evaluator": evaluator, "workload": name,
                 "tiles": combo["tiles"], "scale": scale,
                 "engine": combo["engine"],
             }

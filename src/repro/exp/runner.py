@@ -27,7 +27,7 @@ import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import TapasError
@@ -96,6 +96,55 @@ def _eval_workload(spec: Dict[str, Any]) -> Dict[str, Any]:
 
 
 register_evaluator("workload", _eval_workload,
+                   program_text=_workload_program_text)
+
+
+# -- the static-prediction evaluator ---------------------------------------
+
+#: per-process PerfModel memo — the static analysis is per *program*, so
+#: every (tiles, scale) point of one workload shares a model instance
+_STATIC_MODELS: Dict[str, Any] = {}
+
+
+def _eval_static(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Evaluate one point with the analytical performance model.
+
+    Engine-free: no simulation runs. The record mirrors the ``workload``
+    evaluator's shape (``cycles`` is the predicted count) so downstream
+    tables and BENCH_*.json writers work unchanged, and adds the full
+    ranked-bottleneck prediction under ``"prediction"``.
+    """
+    from repro.analysis.perf import PerfModel
+    from repro.memory.backing import MainMemory
+    from repro.workloads import REGISTRY
+
+    workload = REGISTRY.get(spec["workload"])
+    config = config_from_spec(workload, spec)
+    model = _STATIC_MODELS.get(workload.name)
+    if model is None:
+        model = _STATIC_MODELS[workload.name] = PerfModel(
+            workload.fresh_module(), config=config)
+    prepared = workload.prepare(MainMemory(), spec.get("scale", 1))
+    prediction = model.predict(entry=workload.entry, config=config,
+                               args=prepared.args,
+                               size=prepared.work_items or None)
+    top = prediction.top_bottleneck
+    return {
+        "workload": workload.name,
+        "engine": "static",
+        "tiles": spec.get("tiles"),
+        "scale": spec.get("scale", 1),
+        "cycles": prediction.cycles,
+        "correct": None,
+        "work_items": prepared.work_items,
+        "retval": None,
+        "stats": None,
+        "top_bottleneck": (f"{top.component}:{top.reason}" if top else None),
+        "prediction": prediction.as_dict(),
+    }
+
+
+register_evaluator("static", _eval_static,
                    program_text=_workload_program_text)
 
 

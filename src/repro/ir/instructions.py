@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.errors import IRError
-from repro.ir.types import I1, VOID, IntType, PointerType, Type
+from repro.ir.types import I1, VOID, PointerType, Type
 from repro.ir.values import Value
 
 # Integer binary opcodes, with division latency/area modelled separately.

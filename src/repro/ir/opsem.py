@@ -11,7 +11,6 @@ from __future__ import annotations
 import struct
 
 from repro.errors import SimulationError
-from repro.ir.instructions import GEP, BinaryOp, Cast, FCmp, ICmp, Select
 from repro.ir.types import FloatType, IntType, PointerType, Type
 
 

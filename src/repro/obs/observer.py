@@ -106,11 +106,12 @@ class Observer:
 
     def component_ledgers(self) -> List[CycleLedger]:
         """Top-level ledgers only (a unit, not its tiles)."""
-        return [l for l in self.ledgers.values() if l.group == l.name]
+        return [ledger for ledger in self.ledgers.values()
+                if ledger.group == ledger.name]
 
     def tile_ledgers(self, group: str) -> List[CycleLedger]:
-        return [l for l in self.ledgers.values()
-                if l.group == group and l.name != group]
+        return [ledger for ledger in self.ledgers.values()
+                if ledger.group == group and ledger.name != group]
 
     def stall_sources(self) -> List[Tuple[str, str, int]]:
         """(component, reason, cycles) sorted by descending cycle cost."""

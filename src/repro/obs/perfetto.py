@@ -20,7 +20,7 @@ Mapping:
 from __future__ import annotations
 
 import json
-from typing import IO, List, Optional, Union
+from typing import IO, List, Union
 
 from repro.sim.component import OBS_IDLE
 
@@ -56,10 +56,10 @@ def chrome_trace(observer=None, trace=None,
         for pid, group in enumerate(groups):
             meta.append({"ph": "M", "name": "process_name", "pid": pid,
                          "tid": 0, "args": {"name": group}})
-            members = [l for l in observer.ledgers.values()
-                       if l.group == group]
+            members = [ledger for ledger in observer.ledgers.values()
+                       if ledger.group == group]
             # the component itself first, then its tiles in name order
-            members.sort(key=lambda l: (l.name != group, l.name))
+            members.sort(key=lambda ledger: (ledger.name != group, ledger.name))
             for tid, ledger in enumerate(members):
                 track[ledger.name] = (pid, tid)
                 meta.append({"ph": "M", "name": "thread_name", "pid": pid,

@@ -31,6 +31,7 @@ from repro.passes.optimize import (
     common_subexpression_elimination,
     constant_fold,
     eliminate_dead_code,
+    global_value_numbering,
     optimize_function,
     optimize_module,
 )
@@ -53,7 +54,8 @@ __all__ = [
     "Loop", "find_loops", "max_loop_depth",
     "inline_call", "inline_calls", "prune_unreachable_functions",
     "common_subexpression_elimination", "constant_fold",
-    "eliminate_dead_code", "optimize_function", "optimize_module",
+    "eliminate_dead_code", "global_value_numbering",
+    "optimize_function", "optimize_module",
     "extract_tasks",
     "DETACHED", "FUNCTION_ROOT", "DirectSpawn", "Task", "TaskGraph",
 ]

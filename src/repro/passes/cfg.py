@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, List, Set
 
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function

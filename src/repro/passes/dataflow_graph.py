@@ -18,7 +18,6 @@ from repro.ir.instructions import (
     BinaryOp,
     Call,
     Cast,
-    CondBr,
     Detach,
     FCmp,
     ICmp,

@@ -50,7 +50,8 @@ class DominatorInfo:
                     changed = True
         self.dominators = dom
 
-        # Immediate dominator: the strict dominator dominated by all others.
+        # Immediate dominator: the strict dominator that every other
+        # strict dominator dominates (i.e. the closest one).
         for block in rpo:
             if block is entry:
                 self.idom[block] = None
@@ -58,7 +59,7 @@ class DominatorInfo:
             strict = dom[block] - {block}
             idom = None
             for candidate in strict:
-                if all(candidate in dom[other] for other in strict):
+                if all(other in dom[candidate] for other in strict):
                     idom = candidate
                     break
             self.idom[block] = idom

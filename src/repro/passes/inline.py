@@ -31,16 +31,13 @@ from repro.ir.instructions import (
     Call,
     Cast,
     CondBr,
-    Detach,
     FCmp,
     ICmp,
     Instruction,
     Load,
-    Reattach,
     Ret,
     Select,
     Store,
-    Sync,
 )
 from repro.ir.module import Module
 from repro.ir.values import Value

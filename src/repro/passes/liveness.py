@@ -13,8 +13,8 @@ from typing import Dict, Iterable, Set
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
-from repro.ir.values import Argument, Constant, GlobalVariable, Value
-from repro.passes.cfg import post_order, predecessor_map
+from repro.ir.values import Argument, Value
+from repro.passes.cfg import post_order
 
 
 def _trackable(value: Value) -> bool:

@@ -53,7 +53,7 @@ def find_loops(function: Function) -> List[Loop]:
                 loops.append(loop)
 
     # nesting: a loop is nested in the smallest other loop containing it
-    loops.sort(key=lambda l: len(l.blocks), reverse=True)
+    loops.sort(key=lambda loop: len(loop.blocks), reverse=True)
     for i, inner in enumerate(loops):
         best = None
         for outer in loops:
@@ -82,4 +82,4 @@ def _loop_body(header: BasicBlock, latch: BasicBlock, preds) -> Set[BasicBlock]:
 
 def max_loop_depth(function: Function) -> int:
     loops = find_loops(function)
-    return max((l.depth for l in loops), default=0)
+    return max((loop.depth for loop in loops), default=0)

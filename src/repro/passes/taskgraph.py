@@ -7,12 +7,12 @@ accelerator; spawn edges become the detach/sync wiring between units.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
-from repro.ir.instructions import Call, Detach, Instruction, Load, Store
+from repro.ir.instructions import Call, Detach, Load, Store
 from repro.ir.values import Value
 
 FUNCTION_ROOT = "function"

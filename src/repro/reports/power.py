@@ -12,7 +12,6 @@ core under a 4-worker Cilk load — package power in the tens of watts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Tuple
 
 #: P = STATIC_W + ALM_F_COEF * (ALMs * MHz * 1e-6) + BRAM_F_COEF * (BRAMs * MHz * 1e-3)

@@ -35,10 +35,10 @@ def render_profile_report(name: str, total_cycles: int, observer,
     sections = [f"Profile: {name} — {total_cycles} cycles "
                 f"({observer.cycles_observed} profiled)"]
 
-    units = [l for l in observer.component_ledgers()
-             if l.name.startswith("T") and ":" in l.name]
+    units = [ledger for ledger in observer.component_ledgers()
+             if ledger.name.startswith("T") and ":" in ledger.name]
     components = observer.component_ledgers()
-    rows = [_state_row(l, l.cycles) for l in components]
+    rows = [_state_row(ledger, ledger.cycles) for ledger in components]
     sections.append(render_table(
         ["component", "cycles", "busy", "stall_in", "stall_out", "idle"],
         rows, title="Cycle accounting (per component)"))

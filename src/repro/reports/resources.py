@@ -121,7 +121,7 @@ def _node_bits(node, ranges) -> Optional[int]:
     """Datapath width of one DFG node under the inferred ranges: the
     widest of its (integer) result and operands, None when nothing
     integer-typed is involved."""
-    from repro.ir.instructions import Load, Store
+    from repro.ir.instructions import Load
     from repro.ir.types import IntType
 
     inst = node.inst

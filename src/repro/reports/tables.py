@@ -38,7 +38,7 @@ def bar_chart(title: str, labels: Sequence[str], values: Sequence[float],
               width: int = 50, unit: str = "") -> str:
     """ASCII horizontal bars — the quick-look form of the paper's figures."""
     peak = max(values) if values else 1.0
-    label_w = max(len(l) for l in labels) if labels else 0
+    label_w = max(len(label) for label in labels) if labels else 0
     lines = [title]
     for label, value in zip(labels, values):
         bar = "#" * max(1, int(width * value / peak)) if peak > 0 else ""

@@ -9,7 +9,7 @@ layout).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.ir.basicblock import BasicBlock
 from repro.ir.instructions import Alloca, Call, Detach

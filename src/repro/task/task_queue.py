@@ -12,8 +12,8 @@ loops (§IV-C).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional
 
 from repro.errors import SimulationError
 

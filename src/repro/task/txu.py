@@ -19,7 +19,6 @@ from repro.ir.instructions import (
     Alloca,
     BinaryOp,
     Br,
-    Call,
     Cast,
     CondBr,
     Detach,
@@ -29,7 +28,6 @@ from repro.ir.instructions import (
     Reattach,
     Ret,
     Select,
-    Store,
     Sync,
 )
 from repro.ir.opsem import (
@@ -41,12 +39,12 @@ from repro.ir.opsem import (
     raw_to_value,
     value_to_raw,
 )
-from repro.ir.values import Argument, Constant, GlobalVariable, Value
+from repro.ir.values import Constant, GlobalVariable, Value
 from repro.memory.databox import MemTag
 from repro.memory.messages import MemRequest
 from repro.sim.component import OBS_BUSY, OBS_IDLE, OBS_STALL_IN, OBS_STALL_OUT
 from repro.task.compiled import CompiledTask
-from repro.task.task_queue import COMPLETE, EXE, SYNC, TaskEntry
+from repro.task.task_queue import SYNC, TaskEntry
 
 #: dataflow-node latencies by functional-unit class (cycles)
 DEFAULT_LATENCIES = {

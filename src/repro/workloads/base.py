@@ -9,10 +9,10 @@ which runs identical Cilk programs everywhere (§V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.accel import Accelerator, AcceleratorConfig, TaskUnitParams, build_accelerator
+from repro.accel import Accelerator, AcceleratorConfig, build_accelerator
 from repro.errors import TapasError
 from repro.frontend import compile_source
 from repro.ir.module import Module

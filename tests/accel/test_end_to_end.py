@@ -3,12 +3,7 @@ running examples, checking both results and architectural behaviours."""
 
 import pytest
 
-from repro.accel import (
-    AcceleratorConfig,
-    TaskUnitParams,
-    build_accelerator,
-    generate,
-)
+from repro.accel import AcceleratorConfig, TaskUnitParams, build_accelerator
 from repro.ir.types import I32
 
 from tests.irprograms import (

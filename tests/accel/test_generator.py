@@ -5,7 +5,6 @@ import pytest
 from repro.accel import AcceleratorConfig, TaskUnitParams, generate
 from repro.accel.config import ARRIA_10, BOARDS, CYCLONE_V
 from repro.errors import ConfigError
-from repro.ir.values import Argument
 from repro.workloads import REGISTRY
 
 from tests.irprograms import (

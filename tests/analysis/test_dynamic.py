@@ -86,7 +86,6 @@ class TestDynamicChecker:
         assert trace.race_check(acc.design.graph) == []
 
     def test_untraced_run_is_rejected(self):
-        module = compile_source(CLEAN_DISJOINT, "double_all")
         trace = Trace(enabled=True)
         trace.emit(0, "x", "spawn-in", "no payloads anywhere")
         with pytest.raises(AnalysisError, match="structured"):

@@ -210,7 +210,6 @@ func entry(a: i32*) -> i32 {
 def test_entry_none_makes_all_arguments_top():
     module = compile_source(NARROW_SUM, "narrow_sum")
     ranges = infer_module_ranges(module)
-    fn = module.functions[0]
     # cells still narrow (they do not depend on the pointer argument)
     cells = _cells_by_name(ranges)
     assert cells["i"] == Interval(0, 8)

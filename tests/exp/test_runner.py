@@ -1,7 +1,6 @@
 """SweepRunner: failure isolation, deterministic ordering, caching,
 and parallel/sequential equivalence."""
 
-import os
 import pickle
 import time
 
@@ -73,7 +72,8 @@ def test_parallel_matches_sequential():
         p["sleep"] = (len(points) - i) * 0.01
     seq = SweepRunner(jobs=1).run(points)
     par = SweepRunner(jobs=2).run(points)
-    strip = lambda r: {k: r[k] for k in ("spec", "status", "value", "error")}
+    def strip(r):
+        return {k: r[k] for k in ("spec", "status", "value", "error")}
     assert [strip(r) for r in seq.records] == [strip(r) for r in par.records]
 
 

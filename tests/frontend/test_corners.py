@@ -5,7 +5,7 @@ import pytest
 from repro.accel import build_accelerator
 from repro.errors import SemanticError
 from repro.frontend import compile_source
-from repro.ir.types import I8, I32, I64
+from repro.ir.types import I32
 
 
 def run(source, func, args, modules=None):

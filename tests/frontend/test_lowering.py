@@ -5,7 +5,7 @@ import pytest
 from repro.accel import build_accelerator
 from repro.errors import SemanticError
 from repro.frontend import compile_source
-from repro.ir.instructions import Alloca, Detach, Sync
+from repro.ir.instructions import Alloca, Detach
 from repro.ir.types import I32
 from repro.passes import extract_tasks
 

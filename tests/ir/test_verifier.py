@@ -11,7 +11,7 @@ from repro.ir import (
     verify_function,
     verify_module,
 )
-from repro.ir.instructions import BinaryOp, Br, Detach, Reattach, Ret
+from repro.ir.instructions import BinaryOp, Reattach, Ret
 from repro.ir.types import I32, VOID
 
 

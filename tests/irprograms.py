@@ -7,7 +7,6 @@ the pass/hardware tests independent of the frontend.
 """
 
 from repro.ir import (
-    F32,
     I32,
     VOID,
     Function,

@@ -1,10 +1,9 @@
 """Tests for the function inliner."""
 
-import pytest
 
 from repro.accel import build_accelerator, generate
 from repro.frontend import compile_source
-from repro.ir import print_module, verify_module
+from repro.ir import verify_module
 from repro.ir.instructions import Call
 from repro.ir.types import I32
 from repro.passes import inline_calls, prune_unreachable_functions

@@ -1,12 +1,11 @@
 """Tests for liveness, dataflow-graph construction and loop detection."""
 
-from repro.ir import Function, IRBuilder, const, ptr
+from repro.ir import Function, IRBuilder, const
 from repro.ir.types import I32, VOID
 from repro.passes import (
     build_block_dfg,
     classify,
     compute_liveness,
-    extract_tasks,
     find_loops,
     is_register_access,
     max_loop_depth,
@@ -51,7 +50,7 @@ class TestClassify:
         body = f.block("body")
         loads = [i for i in body.instructions if i.opcode == "load"]
         # loads: a[i] (memory), acc (register)
-        kinds = sorted(classify(l) for l in loads)
+        kinds = sorted(classify(load) for load in loads)
         assert kinds == ["load", "regread"]
 
     def test_frame_alloca_counts_as_memory(self):
@@ -141,7 +140,7 @@ class TestLoops:
         loops = find_loops(m.function("matrix_add"))
         assert len(loops) == 2
         assert max_loop_depth(m.function("matrix_add")) == 2
-        inner = min(loops, key=lambda l: len(l.blocks))
+        inner = min(loops, key=lambda loop: len(loop.blocks))
         assert inner.parent is not None
 
     def test_serial_loop_does_not_spawn(self):

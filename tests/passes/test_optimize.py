@@ -1,17 +1,18 @@
 """Tests for the optimisation pipeline (constant folding, CSE, DCE)."""
 
-import pytest
 
-from repro.ir import Function, IRBuilder, Module, const, verify_function
+from repro.ir import Function, IRBuilder, const, verify_function
 from repro.ir.types import I32, VOID, ptr
 from repro.ir.values import Constant
 from repro.passes import (
     common_subexpression_elimination,
     constant_fold,
     eliminate_dead_code,
+    global_value_numbering,
     optimize_function,
     optimize_module,
 )
+from repro.passes.optimize import _cse_key, _value_index
 
 from tests.irprograms import build_matrix_add_module, build_scale_module
 
@@ -183,3 +184,141 @@ class TestPipeline:
         f = module.function("scale")
         opcodes = [i.opcode for i in f.instructions()]
         assert "detach" in opcodes and "sync" in opcodes
+
+
+class TestCSEKeyDeterminism:
+    """The commutative canonicalisation must not depend on ``id()``."""
+
+    def _commutative_pair(self):
+        f = Function("f", [I32, I32], ["x", "y"], I32)
+        b = IRBuilder(f.add_block("entry"))
+        a1 = b.add(f.arguments[0], f.arguments[1])
+        a2 = b.add(f.arguments[1], f.arguments[0])
+        b.ret(b.xor(a1, a2))
+        return f, a1, a2
+
+    def test_swapped_operands_same_key(self):
+        f, a1, a2 = self._commutative_pair()
+        index = _value_index(f)
+        assert _cse_key(a1, index) == _cse_key(a2, index)
+
+    def test_key_is_stable_across_builds(self):
+        """Two structurally identical functions produce identical keys —
+        the old ``id()``-based sort made them differ between runs."""
+        keys = []
+        for _ in range(2):
+            f, a1, a2 = self._commutative_pair()
+            index = _value_index(f)
+            keys.append((_cse_key(a1, index), _cse_key(a2, index)))
+        assert keys[0] == keys[1]
+
+    def test_key_contains_no_memory_addresses(self):
+        f, a1, _ = self._commutative_pair()
+
+        def flat(obj):
+            if isinstance(obj, tuple):
+                for part in obj:
+                    yield from flat(part)
+            else:
+                yield obj
+        for leaf in flat(_cse_key(a1, _value_index(f))):
+            if isinstance(leaf, int):
+                assert leaf < 1000  # an operand ordinal, not an id()
+
+
+class TestGVN:
+    def test_shares_across_dominated_blocks(self):
+        f = Function("f", [I32], ["x"], VOID)
+        entry = f.add_block("entry")
+        other = f.add_block("other")
+        b = IRBuilder(entry)
+        first = b.add(f.arguments[0], const(1))
+        slot = b.alloca(I32)
+        b.store(first, slot)
+        b.br(other)
+        b.position_at_end(other)
+        dup = b.add(f.arguments[0], const(1))
+        b.store(dup, slot)
+        b.ret()
+        assert common_subexpression_elimination(f) == 0  # stays block-local
+        assert global_value_numbering(f) == 1
+        assert count_ops(f, "add") == 1
+        verify_function(f)
+
+    def test_does_not_share_across_siblings(self):
+        """Neither branch arm dominates the other: both copies stay."""
+        f = Function("f", [I32], ["x"], I32)
+        entry = f.add_block("entry")
+        left = f.add_block("left")
+        right = f.add_block("right")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        cond = b.icmp("slt", f.arguments[0], const(0))
+        slot = b.alloca(I32)
+        b.condbr(cond, left, right)
+        b.position_at_end(left)
+        b.store(b.add(f.arguments[0], const(7)), slot)
+        b.br(join)
+        b.position_at_end(right)
+        b.store(b.add(f.arguments[0], const(7)), slot)
+        b.br(join)
+        b.position_at_end(join)
+        b.ret(b.load(slot))
+        assert global_value_numbering(f) == 0
+        assert count_ops(f, "add") == 2
+
+    def test_detach_region_is_a_barrier(self):
+        """A value from the parent region is never forwarded into a
+        detached region — that would change the task's live-ins."""
+        f = Function("f", [I32, ptr(I32)], ["x", "p"], VOID)
+        entry = f.add_block("entry")
+        body = f.add_block("body")
+        cont = f.add_block("cont")
+        done = f.add_block("done")
+        b = IRBuilder(entry)
+        outer = b.add(f.arguments[0], const(1))
+        b.store(outer, f.arguments[1])
+        b.detach(body, cont)
+        b.position_at_end(body)
+        inner = b.add(f.arguments[0], const(1))  # same expression, new region
+        b.store(inner, f.arguments[1])
+        b.reattach(cont)
+        b.position_at_end(cont)
+        b.sync(done)
+        b.position_at_end(done)
+        b.ret()
+        assert global_value_numbering(f) == 0
+        assert count_ops(f, "add") == 2
+        verify_function(f)
+
+    def test_counted_as_gvn_in_pipeline_totals(self):
+        f = Function("f", [I32], ["x"], VOID)
+        entry = f.add_block("entry")
+        other = f.add_block("other")
+        b = IRBuilder(entry)
+        slot = b.alloca(I32)
+        b.store(b.mul(f.arguments[0], f.arguments[0]), slot)
+        b.br(other)
+        b.position_at_end(other)
+        b.store(b.mul(f.arguments[0], f.arguments[0]), slot)
+        b.ret()
+        counts = optimize_function(f)
+        assert counts["gvn"] == 1
+        assert counts["cse"] == 0
+        assert count_ops(f, "mul") == 1
+
+    def test_module_totals_report_gvn(self):
+        module = build_matrix_add_module()
+        totals = optimize_module(module)
+        assert "gvn" in totals
+
+    def test_workloads_still_correct_with_gvn(self):
+        from repro.accel import build_accelerator
+        from repro.ir.types import I32 as I32_
+
+        module = build_scale_module(work_ops=3)
+        optimize_module(module)
+        acc = build_accelerator(module)
+        data = acc.memory.alloc_array(I32_, [1, 2, 3, 4])
+        acc.run("scale", [data, 4])
+        assert acc.memory.read_array(data, I32_, 4) == [4, 5, 6, 7]

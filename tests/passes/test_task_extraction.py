@@ -1,6 +1,5 @@
 """Tests for the Fig 9 task-extraction pass and the task graph."""
 
-import pytest
 
 from repro.ir.values import Argument
 from repro.passes import DETACHED, FUNCTION_ROOT, analyze_concurrency, extract_tasks

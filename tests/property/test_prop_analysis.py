@@ -9,7 +9,6 @@ property: **no dynamic determinacy race may escape the static analysis**
 model is conservative); false negatives are analyzer bugs.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.accel import AcceleratorConfig, build_accelerator

@@ -7,13 +7,11 @@ HLS flow (frontend -> IR -> task units -> cycle simulation through the
 cache) computes exactly what the semantics say.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.accel import build_accelerator
 from repro.baselines import MulticoreCPU
 from repro.frontend import compile_source
-from repro.ir.opsem import eval_binop
 from repro.ir.types import I32
 from repro.memory.backing import MainMemory
 

@@ -10,7 +10,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.errors import DeadlockError
-from repro.sim import NEVER, Channel, Component, Simulator
+from repro.sim import NEVER, Component, Simulator
 from repro.sim.engine import DEADLOCK_WINDOW
 
 _SETTINGS = dict(deadline=None,

@@ -5,7 +5,6 @@ raises a FrontendError/IRError with a position — never an unhandled
 TypeError/KeyError/RecursionError leaking implementation details.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.errors import FrontendError, IRError

@@ -5,7 +5,6 @@ loads and stores, the data observed through the cache matches a flat
 reference model — timing may vary, values may not.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.memory import Cache, CacheParams, DRAMModel, MainMemory, MemRequest
@@ -65,8 +64,8 @@ class TestCacheCoherence:
         resp = sim.add_channel("resp", 4)
         dram_req = sim.add_channel("dq", 4)
         dram_resp = sim.add_channel("dr", 4)
-        cache = sim.add_component(Cache("L1", params, mem, req, resp,
-                                        dram_req, dram_resp))
+        sim.add_component(Cache("L1", params, mem, req, resp,
+                                dram_req, dram_resp))
         sim.add_component(DRAMModel("D", dram_req, dram_resp, latency=11))
         base = mem.alloc(REGION * 4, align=32)
 

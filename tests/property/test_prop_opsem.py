@@ -4,7 +4,6 @@ These invariants protect the foundation both execution engines (TXU and
 CPU baseline) stand on.
 """
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.ir.opsem import (
@@ -15,7 +14,7 @@ from repro.ir.opsem import (
     to_f32,
     value_to_raw,
 )
-from repro.ir.types import F32, I8, I16, I32, I64, IntType
+from repro.ir.types import F32, I8, I16, I32, I64
 
 i32s = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
 i8s = st.integers(min_value=-128, max_value=127)

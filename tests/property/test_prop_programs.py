@@ -8,7 +8,6 @@ system, suspension, register files all differ), so agreement here pins
 the execution model end to end.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.accel import build_accelerator

@@ -1,6 +1,5 @@
 """Property tests for the hardware data structures (channel, task queue)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim import Channel

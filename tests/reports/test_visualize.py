@@ -1,9 +1,7 @@
 """Tests for DOT emission and execution timelines."""
 
-import pytest
 
 from repro.accel import build_accelerator
-from repro.ir.types import I32
 from repro.passes import extract_tasks
 from repro.reports import (
     execution_timeline,

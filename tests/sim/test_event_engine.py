@@ -10,7 +10,7 @@ import pytest
 
 from repro.errors import ConfigError, DeadlockError, SimulationError
 from repro.obs import Observer
-from repro.sim import ENGINES, NEVER, Channel, Component, Simulator
+from repro.sim import ENGINES, NEVER, Component, Simulator
 from repro.sim.engine import DEADLOCK_WINDOW, STALL_WINDOW
 
 

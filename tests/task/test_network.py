@@ -1,6 +1,5 @@
 """Tests for the spawn/join network (SID-routed crossbars)."""
 
-import pytest
 
 from repro.sim import Simulator
 from repro.task import JoinMessage, SpawnMessage, TaskNetwork

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.task import COMPLETE, EXE, FREE, READY, SYNC, TaskQueue
+from repro.task import COMPLETE, READY, SYNC, TaskQueue
 from repro.task.messages import SpawnMessage
 
 

@@ -1,7 +1,6 @@
 """Tests for TXU behaviours: Fig 7 task pipelining, suspension at sync,
 structural hazards, and spawn-network backpressure."""
 
-import pytest
 
 from repro.accel import AcceleratorConfig, TaskUnitParams, build_accelerator
 from repro.ir.types import I32

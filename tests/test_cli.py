@@ -126,6 +126,51 @@ class TestCommands:
             assert name in out
 
 
+class TestPredict:
+    def test_predict_text(self, kernel_file, capsys):
+        assert main(["predict", kernel_file, "--tiles", "2",
+                     "--size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted cycles for double_all" in out
+        assert "ranked bottlenecks" in out
+        assert "per-task work model" in out
+
+    def test_predict_json(self, kernel_file, capsys):
+        import json
+
+        assert main(["predict", kernel_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["predicted_cycles"] > 0
+        assert payload["bottlenecks"]
+        assert payload["tiles"] == 1
+
+    def test_predict_out_file(self, kernel_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "prediction.json"
+        assert main(["predict", kernel_file, "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["predicted_cycles"] > 0
+
+    def test_predict_unknown_entry(self, kernel_file, capsys):
+        assert main(["predict", kernel_file, "--entry", "nope"]) == 1
+        assert "no entry function" in capsys.readouterr().err
+
+    def test_predict_is_engine_free(self, kernel_file, capsys,
+                                    monkeypatch):
+        """predict must never tick a simulation engine."""
+        from repro.sim.engine import Simulator
+
+        def boom(self, *args, **kwargs):
+            raise AssertionError("predict ran the simulator")
+
+        monkeypatch.setattr(Simulator, "run", boom)
+        assert main(["predict", kernel_file]) == 0
+        capsys.readouterr()
+
+
 class TestObservability:
     def test_profile_command(self, kernel_file, capsys):
         assert main(["profile", kernel_file, "--size", "6"]) == 0
@@ -204,6 +249,14 @@ class TestObservability:
         assert main(argv) == 0
         assert main(argv) == 0
         assert "1 cache hit(s)" not in capsys.readouterr().out
+
+    def test_sweep_static_evaluator(self, capsys):
+        assert main(["sweep", "--workloads", "saxpy,matrix_add",
+                     "--tiles", "1,4", "--evaluator", "static",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "4 points" in out and "0 error(s)" in out
+        assert "static" in out  # engine column reflects the evaluator
 
     def test_sweep_rejects_unknown_workload(self, capsys):
         assert main(["sweep", "--workloads", "nope"]) == 1

@@ -1,6 +1,5 @@
 """Tests for the error hierarchy, tracing and small report helpers."""
 
-import pytest
 
 from repro.errors import (
     DeadlockError,

@@ -2,17 +2,12 @@
 
 import pytest
 
-from repro.accel import AcceleratorConfig
 from repro.workloads import (
     REGISTRY,
     Dedup,
     Fibonacci,
-    ImageScale,
-    MatrixAdd,
     Mergesort,
-    Saxpy,
     ScaleMicro,
-    Stencil,
     fib_reference,
 )
 
