@@ -24,7 +24,7 @@ from repro.accel import (
 from repro.frontend import compile_source
 from repro.ir import parse_ir, print_module
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Accelerator", "AcceleratorConfig", "HostProgram", "TaskUnitParams",

@@ -153,13 +153,18 @@ class Accelerator:
         ``args`` are Python values matching the function signature
         (pointers are integer addresses from :attr:`memory`).
         """
+        from repro.telemetry.spans import TRACER
+
         root = self.unit(function_name)
         root.root_done = False
         root.root_retval = None
         self.network.host_spawn.push(SpawnMessage(
             dest_sid=root.sid, args=tuple(args),
             parent_sid=None, parent_dyid=None))
-        cycles = self.sim.run(lambda: root.root_done, max_cycles=max_cycles)
+        with TRACER.span("simulate", category="sim", entry=function_name,
+                         engine=self.sim.engine):
+            cycles = self.sim.run(lambda: root.root_done,
+                                  max_cycles=max_cycles)
         # drain stragglers (posted joins already counted; writebacks etc.)
         return RunResult(cycles=cycles, retval=root.root_retval,
                          stats=self.collect_stats())
@@ -222,9 +227,14 @@ def build_accelerator(module: Module, config: Optional[AcceleratorConfig] = None
                       trace: Optional[Trace] = None,
                       observer=None) -> Accelerator:
     """The complete toolchain: parallel IR in, elaborated accelerator out."""
+    from repro.telemetry.spans import TRACER
+
     config = config or AcceleratorConfig()
     design = generate(module)
     if config.analysis_level != "none":
-        _analysis_gate(design, config.analysis_level, module.name,
-                       config=config)
-    return Accelerator(design, config, trace=trace, observer=observer)
+        with TRACER.span("analysis.gate", category="generate",
+                         module=module.name):
+            _analysis_gate(design, config.analysis_level, module.name,
+                           config=config)
+    with TRACER.span("elaborate", category="generate", module=module.name):
+        return Accelerator(design, config, trace=trace, observer=observer)

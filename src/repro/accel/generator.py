@@ -116,17 +116,23 @@ def generate(module: Module, optimize: bool = True) -> GeneratedDesign:
     CSE, dead-code elimination) — every surviving operation becomes a
     real functional unit, so cleanup directly shrinks the TXUs.
     """
+    from repro.telemetry.spans import TRACER
+
     verify_module(module)
     if optimize:
         from repro.passes.optimize import optimize_module
 
-        optimize_module(module)
+        with TRACER.span("passes.optimize", category="generate",
+                         module=module.name):
+            optimize_module(module)
         verify_module(module)
-    graph = extract_tasks(module)
-    if not graph.tasks:
-        raise SynthesisError(f"module {module.name} has no functions")
-    sizing = analyze_concurrency(graph)
-    compiled = [compile_task(graph, task) for task in graph.tasks]
+    with TRACER.span("generate.tasks", category="generate",
+                     module=module.name):
+        graph = extract_tasks(module)
+        if not graph.tasks:
+            raise SynthesisError(f"module {module.name} has no functions")
+        sizing = analyze_concurrency(graph)
+        compiled = [compile_task(graph, task) for task in graph.tasks]
     # SIDs must be dense and positional: unit i serves SID i
     for i, ct in enumerate(compiled):
         if ct.sid != i:

@@ -16,10 +16,20 @@ Subcommands mirror the toolchain stages:
 * ``predict``   — static performance prediction for a source file:
   predicted cycles + ranked bottlenecks from the analytical model,
   without running any simulation engine
-* ``profile``   — run a source file under the cycle profiler
+* ``profile``   — run a source file under the cycle profiler (guest
+  cycles), or under the host-time profiler with ``--host`` (where do
+  host seconds go while simulating this design?)
 * ``diff``      — run a source file under both simulation engines and
   fail unless cycle counts and stats are bit-identical
+* ``history``   — list the persistent run registry
+  (``results/history/runs.jsonl``), diff each series' newest run
+  against its predecessor and flag regressions beyond a drift threshold
 * ``workloads`` — list the paper's benchmark suite
+
+Every command runs with the host-side span tracer enabled, so
+``--trace-out`` exports carry the toolchain phases (parse -> lower ->
+passes -> elaborate -> simulate) next to the guest cycle timeline, and
+``--stats-json`` runs append a record to the run registry.
 """
 
 from __future__ import annotations
@@ -150,9 +160,30 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def _append_history(kind: str, name: str, *, engine=None, cycles=None,
+                    host_seconds=None, sim_cycles_per_host_second=None,
+                    config=None, metrics=None):
+    """Append one record to the persistent run registry. Never fatal:
+    an unwritable registry costs the pointer, not the command."""
+    from repro.telemetry.history import append_run, run_record
+
+    record = run_record(kind, name, engine=engine, cycles=cycles,
+                        host_seconds=host_seconds,
+                        sim_cycles_per_host_second=sim_cycles_per_host_second,
+                        config=config, metrics=metrics)
+    try:
+        return append_run(record)
+    except OSError as error:
+        print(f"warning: run history not recorded: {error}", file=sys.stderr)
+        return None
+
+
 def _write_stats_json(path: str, workload_name: str, config, cycles: int,
-                      stats: dict, observer=None, extra=None):
-    """The ``--stats-json`` document: the BENCH_*.json record schema."""
+                      stats: dict, observer=None, extra=None,
+                      host_profile=None, kind: str = "run"):
+    """The ``--stats-json`` document: the BENCH_*.json record schema,
+    plus the run's ``stats`` dump, the optional host-profile block and
+    the pointer to the run-registry record this write appends."""
     from repro.reports.benchjson import (
         bench_record,
         utilization_from_stats,
@@ -170,9 +201,19 @@ def _write_stats_json(path: str, workload_name: str, config, cycles: int,
                           utilization=utilization, stalls=stalls,
                           engine=stats, **(extra or {}))
     record["stats"] = _json_safe_stats(stats)
+    if host_profile is not None:
+        record["host_profile"] = host_profile
+    engine = record.get("engine") or {}
+    record["history"] = _append_history(
+        kind, workload_name, engine=engine.get("name"), cycles=cycles,
+        host_seconds=engine.get("host_seconds"),
+        sim_cycles_per_host_second=engine.get("sim_cycles_per_host_second"),
+        config=record.get("config"),
+        metrics=_json_safe_stats(extra) if extra else None)
     with open(path, "w") as handle:
         json.dump(record, handle, indent=1)
         handle.write("\n")
+    return record
 
 
 def _json_safe_stats(value):
@@ -242,8 +283,10 @@ def cmd_run(args) -> int:
                                     trace=trace, stats=result.stats))
     if args.trace_out:
         from repro.obs import export_chrome_trace
+        from repro.telemetry.spans import TRACER
 
-        export_chrome_trace(args.trace_out, observer=observer, trace=trace)
+        export_chrome_trace(args.trace_out, observer=observer, trace=trace,
+                            host_spans=TRACER)
         print(f"trace written to {args.trace_out}")
     if args.stats_json:
         _write_stats_json(args.stats_json, workload.name, config,
@@ -320,7 +363,23 @@ def cmd_sweep(args) -> int:
                                  "engine": record["spec"]["engine"],
                                  "scale": record["spec"]["scale"]})
             for record in result.records]
-        write_bench_json(args.out, "sweep", records, sweep=summary)
+        ok_cycles = [r["value"].get("cycles") for r in result.records
+                     if r["status"] == "ok" and r["value"]]
+        total_cycles = (sum(c for c in ok_cycles if c is not None)
+                        if any(c is not None for c in ok_cycles) else None)
+        wall = summary["wall_seconds"]
+        history = _append_history(
+            "sweep", args.workloads, engine=args.engines,
+            cycles=total_cycles, host_seconds=wall,
+            sim_cycles_per_host_second=(round(total_cycles / wall, 1)
+                                        if total_cycles and wall else None),
+            config={"workloads": names, "tiles": tiles, "engines": engines,
+                    "scales": scales, "evaluator": args.evaluator},
+            metrics={"points": summary["points"],
+                     "errors": summary["errors"],
+                     "cache_hits": summary["cache_hits"]})
+        write_bench_json(args.out, "sweep", records, sweep=summary,
+                         history=history)
         print(f"results written to {args.out}")
     return 1 if summary["errors"] else 0
 
@@ -388,9 +447,10 @@ def cmd_predict(args) -> int:
 
 
 def cmd_profile(args) -> int:
-    from repro.obs import Observer, export_chrome_trace
-    from repro.reports import render_profile_report
+    from repro.obs import Observer, export_chrome_trace, validate_chrome_trace
+    from repro.reports import render_host_profile_report, render_profile_report
     from repro.sim import Trace
+    from repro.telemetry.spans import TRACER
 
     module = _load_module(args.source)
     function = (module.function(args.entry) if args.entry
@@ -405,23 +465,39 @@ def cmd_profile(args) -> int:
     trace = Trace(enabled=True)
     observer = Observer()
     accel = build_accelerator(module, config, trace=trace, observer=observer)
+    profiler = accel.sim.enable_host_profile() if args.host else None
     entry_args = _default_profile_args(function, accel.memory, args.size)
     result = accel.run(function.name, entry_args)
 
-    print(render_profile_report(f"{module.name}:{function.name}",
-                                result.cycles, observer, trace=trace,
-                                stats=result.stats))
+    label = f"{module.name}:{function.name}"
+    if profiler is not None:
+        print(render_host_profile_report(label, profiler, tracer=TRACER))
+    else:
+        print(render_profile_report(label, result.cycles, observer,
+                                    trace=trace, stats=result.stats))
     if result.retval is not None:
         print(f"\nreturn value: {result.retval}")
+    trace_ok = True
     if args.trace_out:
-        export_chrome_trace(args.trace_out, observer=observer, trace=trace)
+        document = export_chrome_trace(args.trace_out, observer=observer,
+                                       trace=trace, host_spans=TRACER)
         print(f"trace written to {args.trace_out}")
+        problems = validate_chrome_trace(document)
+        if problems:
+            for problem in problems[:10]:
+                print(f"error: {args.trace_out}: {problem}", file=sys.stderr)
+            if len(problems) > 10:
+                print(f"error: {args.trace_out}: "
+                      f"... {len(problems) - 10} more", file=sys.stderr)
+            trace_ok = False
     if args.stats_json:
-        _write_stats_json(args.stats_json, f"{module.name}:{function.name}",
-                          config, result.cycles, result.stats,
-                          observer=observer)
+        _write_stats_json(args.stats_json, label, config, result.cycles,
+                          result.stats, observer=observer,
+                          host_profile=(profiler.as_dict()
+                                        if profiler is not None else None),
+                          kind="profile")
         print(f"stats written to {args.stats_json}")
-    return 0
+    return 0 if trace_ok else 1
 
 
 def cmd_diff(args) -> int:
@@ -461,6 +537,72 @@ def cmd_diff(args) -> int:
         return 1
     print(f"{label}: engines agree, {dense[0]} cycles "
           f"(retval {dense[1]!r})")
+    return 0
+
+
+def cmd_history(args) -> int:
+    """List the run registry; with ``--diff`` compare each series'
+    newest record against its predecessor and flag drift."""
+    import datetime
+
+    from repro.telemetry.history import (
+        default_history_dir,
+        diff_history,
+        load_history,
+    )
+
+    records = load_history(args.dir)
+    want_diff = args.diff or args.fail_on_regression
+    threshold = args.threshold / 100.0
+    diffs = (diff_history(records, last=args.last or None,
+                          threshold=threshold, metric=args.metric)
+             if want_diff else [])
+    regressions = [d for d in diffs if d["regression"]]
+    shown = records[-args.last:] if args.last else records
+
+    if args.format == "json":
+        print(json.dumps({"records": shown, "diffs": diffs,
+                          "regressions": len(regressions)}, indent=1))
+    elif not records:
+        print(f"no run history in {args.dir or default_history_dir()}")
+    else:
+        rows = []
+        for record in shown:
+            when = datetime.datetime.fromtimestamp(
+                record.get("ts", 0)).strftime("%Y-%m-%d %H:%M:%S")
+            host_s = record.get("host_seconds")
+            rows.append([
+                when, record.get("kind"), record.get("name"),
+                record.get("engine") or "-", record.get("git_rev") or "-",
+                record.get("cycles") if record.get("cycles") is not None
+                else "-",
+                f"{host_s:.3f}" if host_s is not None else "-",
+                record.get("fingerprint") or "-"])
+        print(render_table(
+            ["When", "Kind", "Name", "Engine", "Rev", "Cycles", "Host s",
+             "Config"],
+            rows, title=f"Run history ({len(records)} record(s), "
+                        f"showing {len(shown)})"))
+        if want_diff:
+            diff_rows = [[d["kind"], d["name"], d["engine"] or "-",
+                          d["old"], d["new"], f"{100 * d['drift']:+.1f}%",
+                          "REGRESSION" if d["regression"] else "ok"]
+                         for d in diffs]
+            print()
+            if diff_rows:
+                print(render_table(
+                    ["Kind", "Name", "Engine", "Old", "New", "Drift",
+                     "Status"],
+                    diff_rows,
+                    title=f"{args.metric} vs predecessor "
+                          f"(threshold {args.threshold:g}%)"))
+            else:
+                print("no comparable series (a diff needs two records of "
+                      "the same kind/name/engine/config)")
+    if args.fail_on_regression and regressions:
+        print(f"error: {len(regressions)} series regressed beyond "
+              f"{args.threshold:g}% on {args.metric}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -576,7 +718,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="recompute every point, read/write no cache")
     p.add_argument("--out", metavar="FILE",
-                   help="write the schema-3 results document as JSON")
+                   help="write the schema-4 results document as JSON "
+                        "(records + sweep summary + telemetry + history "
+                        "pointer)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -604,6 +748,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Perfetto/chrome://tracing JSON trace")
     p.add_argument("--stats-json", metavar="FILE",
                    help="write cycles/utilization/stall stats as JSON")
+    p.add_argument("--host", action="store_true",
+                   help="profile the host time the simulator spends per "
+                        "component class instead of the guest cycles")
     p.add_argument("--engine", choices=list(ENGINES), default="event",
                    help="simulation kernel (default: event)")
     p.set_defaults(func=cmd_profile)
@@ -617,6 +764,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="synthesized input size / scalar value (default 12)")
     p.set_defaults(func=cmd_diff)
 
+    p = sub.add_parser(
+        "history",
+        help="list recorded runs and flag cycle/host-time regressions")
+    p.add_argument("--dir", metavar="DIR",
+                   help="registry directory (default: $REPRO_HISTORY_DIR "
+                        "or results/history)")
+    p.add_argument("--last", type=int, default=0,
+                   help="show/diff only the newest N records (default: all)")
+    p.add_argument("--diff", action="store_true",
+                   help="diff each series' newest record against its "
+                        "predecessor")
+    p.add_argument("--threshold", type=float, default=10.0,
+                   help="drift percent flagged as a regression (default: 10)")
+    p.add_argument("--metric",
+                   choices=["cycles", "host_seconds",
+                            "sim_cycles_per_host_second"],
+                   default="cycles",
+                   help="which recorded metric to diff (default: cycles)")
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="exit 1 if any series regressed beyond the "
+                        "threshold (implies --diff)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=cmd_history)
+
     p = sub.add_parser("workloads", help="list the benchmark suite")
     p.set_defaults(func=cmd_workloads)
 
@@ -624,8 +795,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from repro.telemetry.spans import TRACER
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    # host-side pipeline tracing is on for every CLI invocation: a few
+    # spans per toolchain phase, exported by --trace-out alongside the
+    # guest cycle timeline (reset keeps repeated in-process main() calls
+    # — the test suite — from accumulating spans across commands)
+    TRACER.reset()
+    TRACER.enable()
     try:
         return args.func(args)
     except TapasError as error:

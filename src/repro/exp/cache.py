@@ -74,6 +74,8 @@ class ResultCache:
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0       # get() served a valid entry
+        self.misses = 0     # get() found nothing usable
         self.evictions = 0  # corrupted entries dropped
 
     # -- keys -------------------------------------------------------------
@@ -103,15 +105,24 @@ class ResultCache:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
         except FileNotFoundError:
+            self.misses += 1
             return None
         except (OSError, ValueError):
             self._evict(path)
+            self.misses += 1
             return None
         if not isinstance(entry, dict) or entry.get("key") != key \
                 or "record" not in entry:
             self._evict(path)
+            self.misses += 1
             return None
+        self.hits += 1
         return entry["record"]
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/corruption counters for the sweep telemetry block."""
+        return {"hits": self.hits, "misses": self.misses,
+                "corruption_evictions": self.evictions}
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
         """Store ``record`` atomically (tmp + rename: concurrent workers

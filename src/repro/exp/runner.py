@@ -153,6 +153,9 @@ register_evaluator("static", _eval_static,
 def _execute_point(spec: Dict[str, Any]) -> Dict[str, Any]:
     """Evaluate one point; never raises. The outcome dict is the
     record's core — structured errors instead of a dead sweep."""
+    # monotonic start: comparable with the parent's submit timestamp on
+    # the same machine, so the runner can derive pool queue-wait time
+    started_mono = time.monotonic()
     start = time.perf_counter()
     try:
         registration = get_evaluator(spec["evaluator"])
@@ -169,6 +172,7 @@ def _execute_point(spec: Dict[str, Any]) -> Dict[str, Any]:
                              "traceback": traceback.format_exc()}}
     outcome["seconds"] = round(time.perf_counter() - start, 6)
     outcome["worker"] = os.getpid()
+    outcome["started_mono"] = started_mono
     return outcome
 
 
@@ -238,26 +242,39 @@ class SweepRunner:
         if self.progress is not None and total:
             self.progress(done, total, time.perf_counter() - start)
 
+        submit_mono: Dict[int, float] = {}  # point index -> submit time
+
         def record_outcome(index, spec, key, outcome):
             if outcome["status"] == "ok" and self.cache is not None \
                     and key is not None:
                 self.cache.put(key, {"value": outcome["value"]})
             outcome = dict(outcome)
+            # queue wait: submit -> worker pickup, both time.monotonic()
+            # (comparable across forked processes on the same machine)
+            started = outcome.pop("started_mono", None)
+            submitted = submit_mono.get(index)
+            wait_s = 0.0
+            if started is not None and submitted is not None:
+                wait_s = max(0.0, started - submitted)
+            outcome["queue_wait"] = round(wait_s, 6)
             outcome["spec"] = spec
             outcome["cache_hit"] = False
             records[index] = outcome
 
         if pending and (self.jobs <= 1 or len(pending) == 1):
             for index, spec, key in pending:
+                submit_mono[index] = time.monotonic()
                 record_outcome(index, spec, key, _execute_point(spec))
                 done += 1
                 if self.progress is not None:
                     self.progress(done, total, time.perf_counter() - start)
         elif pending:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                futures = {pool.submit(_execute_point, spec): (index, spec,
-                                                               key)
-                           for index, spec, key in pending}
+                futures = {}
+                for index, spec, key in pending:
+                    submit_mono[index] = time.monotonic()
+                    futures[pool.submit(_execute_point, spec)] = (index, spec,
+                                                                  key)
                 remaining = set(futures)
                 while remaining:
                     finished, remaining = wait(remaining,
@@ -270,17 +287,62 @@ class SweepRunner:
                             self.progress(done, total,
                                           time.perf_counter() - start)
 
+        wall = time.perf_counter() - start
         errors = sum(1 for r in records if r is not None
                      and r["status"] == "error")
+        telemetry = self._telemetry(records, wall)
+        if self.cache is not None:
+            telemetry["cache"] = self.cache.counters()
         summary = {
             "points": total,
             "jobs": self.jobs,
-            "wall_seconds": round(time.perf_counter() - start, 6),
+            "wall_seconds": round(wall, 6),
             "cache_hits": hits,
             "cache_misses": total - hits,
             "errors": errors,
+            "telemetry": telemetry,
         }
         return SweepResult(records=records, summary=summary)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _telemetry(records: Sequence[Optional[Dict[str, Any]]],
+                   wall: float) -> Dict[str, Any]:
+        """Aggregate per-worker utilization, queue-wait and point-latency
+        histograms, folded into the sweep summary (and from there into
+        the BENCH JSON's top-level ``telemetry`` block)."""
+        from repro.telemetry.metrics import (LATENCY_BUCKETS_S,
+                                             MetricsRegistry)
+
+        local = MetricsRegistry(enabled=True)
+        point_hist = local.histogram("sweep.point_seconds",
+                                     buckets=LATENCY_BUCKETS_S)
+        wait_hist = local.histogram("sweep.queue_wait_seconds",
+                                    buckets=LATENCY_BUCKETS_S)
+        workers: Dict[int, Dict[str, float]] = {}
+        for record in records:
+            if record is None or record.get("cache_hit"):
+                continue
+            if record.get("worker") is None:
+                continue
+            point_hist.observe(record["seconds"])
+            wait_hist.observe(record.get("queue_wait", 0.0))
+            bucket = workers.setdefault(record["worker"],
+                                        {"points": 0, "busy_seconds": 0.0})
+            bucket["points"] += 1
+            bucket["busy_seconds"] += record["seconds"]
+        return {
+            "workers": {
+                str(pid): {
+                    "points": int(stats["points"]),
+                    "busy_seconds": round(stats["busy_seconds"], 6),
+                    "utilization": (round(stats["busy_seconds"] / wall, 4)
+                                    if wall > 0 else None),
+                }
+                for pid, stats in sorted(workers.items())
+            },
+            "point_seconds": point_hist.as_dict(),
+            "queue_wait_seconds": wait_hist.as_dict(),
+        }
 
 
 def progress_printer(stream=None) -> Callable[[int, int, float], None]:

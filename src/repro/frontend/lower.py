@@ -495,5 +495,11 @@ def lower_program(program: ast.Program, name: str = "program") -> Module:
 
 def compile_source(source: str, name: str = "program") -> Module:
     """Front door: Cilk-like source text -> verified parallel IR module."""
-    program = analyze(parse(source))
-    return lower_program(program, name)
+    from repro.telemetry.spans import TRACER
+
+    with TRACER.span("frontend.parse", category="compile", module=name):
+        program = parse(source)
+    with TRACER.span("frontend.sema", category="compile", module=name):
+        program = analyze(program)
+    with TRACER.span("frontend.lower", category="compile", module=name):
+        return lower_program(program, name)

@@ -28,6 +28,9 @@ from repro.sim.component import OBS_IDLE
 _CHANNELS_PID = 1_000_000
 #: synthetic pid for trace events whose source has no component track
 _EVENTS_PID = 1_000_001
+#: synthetic pid for host-side toolchain spans (repro.telemetry spans:
+#: parse -> IR build -> passes -> elaboration -> simulation)
+_HOST_PID = 1_000_002
 
 
 def _json_safe(value):
@@ -42,11 +45,32 @@ def _json_safe(value):
 
 
 def chrome_trace(observer=None, trace=None,
-                 include_idle: bool = False) -> dict:
-    """Build the trace-event document as a Python dict."""
+                 include_idle: bool = False, host_spans=None) -> dict:
+    """Build the trace-event document as a Python dict.
+
+    ``host_spans`` is a :class:`repro.telemetry.SpanTracer`: its
+    toolchain-phase spans are emitted as a separate "host" process with
+    one thread track per host thread, so host wall-clock and guest
+    cycles land in one document (host timestamps are microseconds since
+    the first span; guest timestamps stay 1 us == 1 cycle).
+    """
     events: List[dict] = []
     meta: List[dict] = []
     track: dict = {}  # source name -> (pid, tid)
+
+    if host_spans is not None and getattr(host_spans, "spans", None):
+        from repro.telemetry.spans import host_trace_events
+
+        host_events = host_trace_events(host_spans, _HOST_PID)
+        if host_events:
+            meta.append({"ph": "M", "name": "process_name",
+                         "pid": _HOST_PID, "tid": 0,
+                         "args": {"name": "host toolchain"}})
+            for tid in sorted({e["tid"] for e in host_events}):
+                meta.append({"ph": "M", "name": "thread_name",
+                             "pid": _HOST_PID, "tid": tid,
+                             "args": {"name": f"host thread {tid}"}})
+            events.extend(host_events)
 
     if observer is not None:
         groups = []
@@ -120,10 +144,10 @@ def chrome_trace(observer=None, trace=None,
 
 def export_chrome_trace(destination: Union[str, IO],
                         observer=None, trace=None,
-                        include_idle: bool = False) -> dict:
+                        include_idle: bool = False, host_spans=None) -> dict:
     """Write the trace-event JSON to a path or file object."""
     document = chrome_trace(observer=observer, trace=trace,
-                            include_idle=include_idle)
+                            include_idle=include_idle, host_spans=host_spans)
     if hasattr(destination, "write"):
         json.dump(document, destination, indent=1)
     else:

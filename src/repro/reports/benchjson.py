@@ -4,25 +4,35 @@ Every ``benchmarks/bench_*.py`` writes, next to its ``results/*.txt``
 table, a ``results/*.json`` document so the performance trajectory can
 be tracked across PRs. The schema is one document per bench::
 
-    {"bench": str, "schema": 3,
+    {"bench": str, "schema": 4,
      "sweep": {"wall_seconds": float, "jobs": int, "points": int,
                "cache_hits": int, "cache_misses": int,
                "errors": int}|null,
+     "telemetry": {...}|null,
+     "history": {"path": str, "seq": int}|null,
      "records": [{"workload": str, "config": {...}, "cycles": int|null,
                   "utilization": {...}|null, "stalls": {...}|null,
                   "engine": {...}|null, "cache_hit": bool|null,
-                  "worker": int|null, "metrics": {...}}]}
+                  "worker": int|null, "host_seconds": float|null,
+                  "sim_cycles_per_host_second": float|null,
+                  "metrics": {...}}]}
 
 ``bench_record`` builds one record; non-simulation benches (resource
 tables) set ``cycles`` to None and carry their numbers in ``metrics``.
 Schema 2 added the ``engine`` key: host-side performance of the
 simulation itself (engine name, ``host_seconds``,
-``sim_cycles_per_host_second``). Schema 3 adds sweep-runner provenance:
-per-record ``cache_hit`` (served from the content-addressed result
-cache?) and ``worker`` (pid of the sweep worker that computed it), plus
-the top-level ``sweep`` wall-clock summary. :func:`read_bench_json`
-reads both schemas, normalising 2 up to 3, so existing
-``results/*.json`` stay valid.
+``sim_cycles_per_host_second``). Schema 3 added sweep-runner
+provenance: per-record ``cache_hit`` (served from the content-addressed
+result cache?) and ``worker`` (pid of the sweep worker that computed
+it), plus the top-level ``sweep`` wall-clock summary. Schema 4
+surfaces host-time telemetry: per-record ``host_seconds`` /
+``sim_cycles_per_host_second`` (lifted out of ``engine`` so they are
+flat, greppable and diffable), a top-level ``telemetry`` block (the
+sweep runner's worker-utilization/queue-wait/latency histograms, see
+:mod:`repro.exp.runner`) and a top-level ``history`` pointer into the
+persistent run registry (:mod:`repro.telemetry.history`).
+:func:`read_bench_json` reads schemas 2-4, normalising older documents
+up, so existing ``results/*.json`` stay valid.
 """
 
 from __future__ import annotations
@@ -30,17 +40,25 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: schemas read_bench_json understands (older ones are normalised up)
-READABLE_SCHEMAS = (2, 3)
+READABLE_SCHEMAS = (2, 3, 4)
 
 #: keys every record must carry (value may be None)
 RECORD_KEYS = ("workload", "config", "cycles", "utilization", "stalls",
-               "engine", "cache_hit", "worker", "metrics")
+               "engine", "cache_hit", "worker", "host_seconds",
+               "sim_cycles_per_host_second", "metrics")
 
 #: record keys added by schema 3 (defaulted when reading schema 2)
 _SCHEMA3_RECORD_KEYS = ("cache_hit", "worker")
+
+#: record keys added by schema 4 (defaulted from ``engine`` when reading
+#: schema 2/3 documents)
+_SCHEMA4_RECORD_KEYS = ("host_seconds", "sim_cycles_per_host_second")
+
+#: document keys added by schema 4 (defaulted when reading older schemas)
+_SCHEMA4_DOCUMENT_KEYS = ("telemetry", "history")
 
 #: subset of Simulator.engine_stats() carried in bench records
 ENGINE_RECORD_KEYS = ("name", "host_seconds", "sim_cycles_per_host_second")
@@ -115,7 +133,9 @@ def bench_record(workload: str, config: Any = None,
     """One benchmark data point in the BENCH_*.json schema.
 
     ``cache_hit``/``worker`` are sweep-runner provenance: None for
-    benches that do not run through the SweepRunner.
+    benches that do not run through the SweepRunner. The schema-4 flat
+    ``host_seconds``/``sim_cycles_per_host_second`` keys are derived
+    from the engine summary (None when no engine stats are available).
     """
     if not isinstance(config, (dict, type(None))):
         config = config_summary(config)
@@ -125,6 +145,9 @@ def bench_record(workload: str, config: Any = None,
         engine = engine_summary(stats)
     else:
         engine = engine_summary(engine)
+    host_seconds = engine.get("host_seconds") if engine else None
+    cycles_per_s = (engine.get("sim_cycles_per_host_second")
+                    if engine else None)
     return {
         "workload": workload,
         "config": config,
@@ -134,6 +157,8 @@ def bench_record(workload: str, config: Any = None,
         "engine": engine,
         "cache_hit": cache_hit,
         "worker": worker,
+        "host_seconds": host_seconds,
+        "sim_cycles_per_host_second": cycles_per_s,
         "metrics": metrics,
     }
 
@@ -149,6 +174,8 @@ def sweep_record(point_record: Dict[str, Any], workload: str,
     cycles and the structured error in ``metrics``.
     """
     value = point_record.get("value") or {}
+    if point_record.get("queue_wait") is not None:
+        metrics.setdefault("queue_wait", point_record["queue_wait"])
     return bench_record(
         workload,
         config=config,
@@ -162,7 +189,10 @@ def sweep_record(point_record: Dict[str, Any], workload: str,
 
 
 def bench_document(bench: str, records: List[dict],
-                   sweep: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                   sweep: Optional[Dict[str, Any]] = None,
+                   telemetry: Optional[Dict[str, Any]] = None,
+                   history: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
     for record in records:
         missing = [k for k in RECORD_KEYS if k not in record]
         if missing:
@@ -171,18 +201,25 @@ def bench_document(bench: str, records: List[dict],
         missing = [k for k in SWEEP_KEYS if k not in sweep]
         if missing:
             raise ValueError(f"bench {bench}: sweep summary missing {missing}")
+        # the sweep runner's telemetry block rides at document level, not
+        # inside the strictly-keyed sweep summary
+        if telemetry is None:
+            telemetry = sweep.get("telemetry")
         sweep = {key: sweep[key] for key in SWEEP_KEYS}
     return {"bench": bench, "schema": BENCH_SCHEMA_VERSION,
-            "sweep": sweep, "records": records}
+            "sweep": sweep, "telemetry": telemetry, "history": history,
+            "records": records}
 
 
 def read_bench_json(path: str) -> Dict[str, Any]:
-    """Load a results document, accepting schema 2 or 3.
+    """Load a results document, accepting schema 2, 3 or 4.
 
-    Schema-2 documents (written before the sweep runner existed) are
-    normalised in place: ``sweep`` becomes None and every record gains
-    ``cache_hit``/``worker`` as None — so downstream consumers only ever
-    see the schema-3 shape.
+    Older documents are normalised in place — schema 2 gains
+    ``sweep``/``cache_hit``/``worker``, schema 2 and 3 gain
+    ``telemetry``/``history`` (None) and the flat per-record
+    ``host_seconds``/``sim_cycles_per_host_second`` (lifted from the
+    record's ``engine`` block when present) — so downstream consumers
+    only ever see the schema-4 shape.
     """
     with open(path) as handle:
         document = json.load(handle)
@@ -193,16 +230,24 @@ def read_bench_json(path: str) -> Dict[str, Any]:
             f"(readable: {READABLE_SCHEMAS})")
     if schema < BENCH_SCHEMA_VERSION:
         document.setdefault("sweep", None)
+        for key in _SCHEMA4_DOCUMENT_KEYS:
+            document.setdefault(key, None)
         for record in document.get("records", []):
             for key in _SCHEMA3_RECORD_KEYS:
                 record.setdefault(key, None)
+            engine = record.get("engine") or {}
+            for key in _SCHEMA4_RECORD_KEYS:
+                record.setdefault(key, engine.get(key))
         document["schema"] = BENCH_SCHEMA_VERSION
     return document
 
 
 def write_bench_json(path: str, bench: str, records: List[dict],
-                     sweep: Optional[Dict[str, Any]] = None) -> dict:
-    document = bench_document(bench, records, sweep=sweep)
+                     sweep: Optional[Dict[str, Any]] = None,
+                     telemetry: Optional[Dict[str, Any]] = None,
+                     history: Optional[Dict[str, Any]] = None) -> dict:
+    document = bench_document(bench, records, sweep=sweep,
+                              telemetry=telemetry, history=history)
     with open(path, "w") as handle:
         json.dump(document, handle, indent=1, sort_keys=False)
         handle.write("\n")

@@ -101,3 +101,57 @@ def render_profile_report(name: str, total_cycles: int, observer,
                 f"{cache.get('writebacks', 0)} writebacks")
 
     return "\n\n".join(sections)
+
+
+def render_host_profile_report(name: str, profiler,
+                               tracer=None) -> str:
+    """The ``repro profile --host`` text report: where do host seconds
+    go while the simulator runs this design?
+
+    Ranks component *classes* (every instance of e.g. ``TaskUnit``
+    aggregated) by host time, then the engine-level phases (channel
+    commit, observer, scheduling residual). ``coverage`` is the fraction
+    of simulator wall-clock attributed to a named class or phase —
+    near 1.0 when the attribution is healthy. When a
+    :class:`~repro.telemetry.spans.SpanTracer` is supplied, the
+    toolchain phases around the simulation (parse/lower/generate/
+    elaborate) are appended so compile time is visible next to sim time.
+    """
+    wall = profiler.wall_ns / 1e9
+    engine = profiler.sim.engine if profiler.sim is not None else "?"
+    sections = [f"Host profile: {name} — {wall:.3f}s simulator wall-clock, "
+                f"engine={engine}"]
+
+    def _share(seconds):
+        return f"{100.0 * seconds / wall:.1f}%" if wall else "0.0%"
+
+    rows = [[row["class"], f"{row['seconds']:.4f}", _share(row["seconds"]),
+             row["ticks"], row["ns_per_tick"]]
+            for row in profiler.ranked_classes()]
+    sections.append(render_table(
+        ["component class", "seconds", "% wall", "ticks", "ns/tick"],
+        rows, title="Host seconds by component class"))
+
+    phase_rows = [[phase, f"{seconds:.4f}", _share(seconds)]
+                  for phase, seconds in sorted(profiler.phases().items(),
+                                               key=lambda kv: -kv[1])]
+    sections.append(render_table(
+        ["phase", "seconds", "% wall"],
+        phase_rows, title="Host seconds by engine phase"))
+
+    # machine-greppable: CI asserts on these two fractions
+    sections.append(
+        f"attribution: measured_fraction={profiler.measured_fraction():.4f} "
+        f"coverage={profiler.coverage():.4f}")
+
+    if tracer is not None and getattr(tracer, "spans", None):
+        totals = tracer.phase_totals()
+        span_rows = [[phase, f"{seconds:.4f}"]
+                     for phase, seconds in sorted(totals.items(),
+                                                  key=lambda kv: -kv[1])]
+        if span_rows:
+            sections.append(render_table(
+                ["toolchain span", "seconds"], span_rows,
+                title="Toolchain phases (host spans)"))
+
+    return "\n\n".join(sections)

@@ -120,6 +120,10 @@ class Simulator:
         #: optional per-cycle sampler (repro.obs.Observer); None keeps the
         #: hot loop at a single pointer test per cycle
         self.observer = None
+        #: optional host-time attribution (repro.telemetry.HostProfiler);
+        #: None keeps both engines' commit paths at one pointer test per
+        #: cycle — sim cycles are bit-identical either way
+        self.host_profile = None
         # -- event-engine state ------------------------------------------
         #: channels with a pending push/pop this cycle (self-registered)
         self._dirty_channels: List[Channel] = []
@@ -173,6 +177,15 @@ class Simulator:
         self.observer = observer
         return observer
 
+    def enable_host_profile(self, profiler=None):
+        """Install per-component-class host-time attribution (see
+        :mod:`repro.telemetry.hostprof`). Call after construction is
+        complete — the profiler wraps the components registered so far."""
+        from repro.telemetry.hostprof import HostProfiler
+
+        profiler = profiler or HostProfiler()
+        return profiler.install(self)
+
     # -- clock ---------------------------------------------------------------
 
     def note_activity(self):
@@ -193,9 +206,17 @@ class Simulator:
         self._ticks_executed += 1
         self._component_ticks += len(components)
         moved = False
-        for channel in self.channels:
-            if channel.commit():
-                moved = True
+        profile = self.host_profile
+        if profile is None:
+            for channel in self.channels:
+                if channel.commit():
+                    moved = True
+        else:
+            t0 = time.perf_counter_ns()
+            for channel in self.channels:
+                if channel.commit():
+                    moved = True
+            profile.commit_ns += time.perf_counter_ns() - t0
         self._dirty_channels.clear()
         self.cycle += 1
         self._account(moved)
@@ -230,8 +251,11 @@ class Simulator:
             else:
                 self._run_event(done, start, max_cycles)
         finally:
-            self.host_seconds += time.perf_counter() - t0
+            elapsed = time.perf_counter() - t0
+            self.host_seconds += elapsed
             self._cycles_simulated += self.cycle - start
+            if self.host_profile is not None:
+                self.host_profile.wall_ns += int(elapsed * 1e9)
         return self.cycle - start
 
     def _check_stalls(self):
@@ -421,6 +445,8 @@ class Simulator:
 
         moved = False
         if self._dirty_channels:
+            profile = self.host_profile
+            t0 = 0 if profile is None else time.perf_counter_ns()
             dirty = self._dirty_channels
             self._dirty_channels = []
             for channel in dirty:
@@ -432,6 +458,8 @@ class Simulator:
                         if next_cycle < subscriber._wake_cycle:
                             subscriber._wake_cycle = next_cycle
                             due.append(subscriber)
+            if profile is not None:
+                profile.commit_ns += time.perf_counter_ns() - t0
         self.cycle = next_cycle
         self._account(moved)
         if self.observer is not None:

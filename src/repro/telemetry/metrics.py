@@ -1,0 +1,249 @@
+"""Process-local metrics: counters, gauges, histograms.
+
+A tiny Prometheus-shaped registry for the *host-side* toolchain (the
+guest machine has its own cycle ledgers in ``repro.obs``). Instruments
+are created once by name and shared process-wide; the registry can be
+disabled, in which case every ``inc``/``set``/``observe`` is a single
+flag test and an early return — cheap enough to leave instrumentation
+in hot host paths permanently (bounded by a micro-test in
+``tests/telemetry/test_metrics.py``).
+
+Histograms use **fixed bucket schemes** so two runs of the same process
+(or two workers of the same sweep) always produce mergeable documents:
+
+* :data:`LATENCY_BUCKETS_S` — host latencies from 100us to ~2 minutes,
+* :data:`SIZE_BUCKETS` — counts/bytes in powers of four.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TapasError
+
+
+def exponential_buckets(start: float, factor: float,
+                        count: int) -> Tuple[float, ...]:
+    """``count`` upper bounds growing geometrically from ``start``."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise TapasError("exponential_buckets needs start>0, factor>1, "
+                         "count>=1")
+    out = []
+    bound = start
+    for _ in range(count):
+        out.append(bound)
+        bound *= factor
+    return tuple(out)
+
+
+#: host-latency scheme: 100us .. ~105s in x2 steps (every sweep point,
+#: compile phase and simulation we time lands inside it)
+LATENCY_BUCKETS_S = exponential_buckets(0.0001, 2.0, 20)
+
+#: generic count/size scheme: 1 .. ~10^9 in x4 steps
+SIZE_BUCKETS = exponential_buckets(1, 4.0, 16)
+
+
+class Metric:
+    """Common plumbing: every instrument belongs to one registry and
+    consults its ``enabled`` flag on the hot path."""
+
+    __slots__ = ("name", "help", "_registry")
+
+    kind = "metric"
+
+    def __init__(self, name: str, registry: "MetricsRegistry",
+                 help: str = ""):
+        self.name = name
+        self.help = help
+        self._registry = registry
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self, name, registry, help=""):
+        super().__init__(name, registry, help)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise TapasError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge(Metric):
+    """A value that goes up and down (queue depth, workers alive)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self, name, registry, help=""):
+        super().__init__(name, registry, help)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.value += delta
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram (cumulative-style bounds, plus +Inf).
+
+    ``buckets`` are the inclusive upper bounds of each bucket; a final
+    implicit overflow bucket catches everything larger. The scheme is
+    fixed at creation so documents from different processes merge
+    bucket-for-bucket.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name, registry, buckets: Sequence[float] = LATENCY_BUCKETS_S,
+                 help: str = ""):
+        super().__init__(name, registry, help)
+        bounds = tuple(buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise TapasError(
+                f"histogram {name}: bucket bounds must be strictly increasing")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # [+Inf overflow last]
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:  # first bound >= value (bisect, no import cost)
+            mid = (lo + hi) // 2
+            if self.buckets[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the q-quantile observation
+        (None while empty; the overflow bucket reports the observed max)."""
+        if not self.count:
+            return None
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target and n:
+                return (self.buckets[i] if i < len(self.buckets)
+                        else self.max)
+        return self.max
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": round(self.sum, 9),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean(), 9),
+            "buckets": [
+                {"le": bound, "count": n}
+                for bound, n in zip(self.buckets, self.counts)
+                if n
+            ] + ([{"le": "+Inf", "count": self.counts[-1]}]
+                 if self.counts[-1] else []),
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument, one per process (or one per subsystem).
+
+    ``enabled=False`` (how the default registry starts) turns every
+    instrument mutation into a flag test: the registry can stay wired
+    into hot paths for free until something opts in via :meth:`enable`.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- lifecycle --------------------------------------------------------
+
+    def enable(self) -> "MetricsRegistry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "MetricsRegistry":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; a fresh sweep)."""
+        self._metrics.clear()
+
+    # -- instrument factories ---------------------------------------------
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, self, **kwargs)
+        elif type(metric) is not cls:
+            raise TapasError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help=help)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = LATENCY_BUCKETS_S,
+                  help: str = "") -> Histogram:
+        return self._get(name, Histogram, buckets=buckets, help=help)
+
+    # -- export -----------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot of every instrument, sorted by name."""
+        return {name: self._metrics[name].as_dict()
+                for name in self.names()}
+
+
+#: the process-wide default registry — disabled until a CLI entry point
+#: (or a test) turns it on, so library users pay only the flag test
+METRICS = MetricsRegistry(enabled=False)

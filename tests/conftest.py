@@ -1,6 +1,15 @@
-"""Make the repository root importable so tests can share IR builders."""
+"""Make the repository root importable so tests can share IR builders.
+
+Also points the persistent run registry at a throwaway directory:
+tests exercising ``--stats-json`` / ``repro history`` must never append
+to the checkout's real ``results/history/runs.jsonl``.
+"""
 
 import os
 import sys
+import tempfile
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+os.environ.setdefault("REPRO_HISTORY_DIR",
+                      tempfile.mkdtemp(prefix="repro-test-history-"))

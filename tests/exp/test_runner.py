@@ -87,6 +87,33 @@ def test_parallel_failure_isolation():
             if i != 1] == [0, 2, 3]
 
 
+def test_summary_carries_telemetry_block():
+    result = SweepRunner(jobs=2).run(_toy_points(4))
+    telemetry = result.summary["telemetry"]
+    assert telemetry["point_seconds"]["count"] == 4
+    assert telemetry["queue_wait_seconds"]["count"] == 4
+    workers = telemetry["workers"]
+    assert workers and sum(w["points"] for w in workers.values()) == 4
+    for stats in workers.values():
+        assert stats["busy_seconds"] >= 0
+        assert 0 <= stats["utilization"] <= 1
+    assert "cache" not in telemetry  # no cache attached to this run
+    # every computed record carries its pool queue wait
+    assert all(r["queue_wait"] >= 0 for r in result.records)
+
+
+def test_telemetry_counts_cache_traffic(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = SweepRunner(jobs=1, cache=cache).run(_toy_points(2))
+    assert cold.summary["telemetry"]["cache"] == {
+        "hits": 0, "misses": 2, "corruption_evictions": 0}
+    warm_cache = ResultCache(tmp_path)
+    warm = SweepRunner(jobs=1, cache=warm_cache).run(_toy_points(2))
+    assert warm.summary["telemetry"]["cache"]["hits"] == 2
+    # cache hits never ran, so they contribute no latency observations
+    assert warm.summary["telemetry"]["point_seconds"]["count"] == 0
+
+
 def test_cache_hits_on_rerun(tmp_path):
     cache = ResultCache(tmp_path)
     points = _toy_points(3)

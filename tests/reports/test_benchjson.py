@@ -1,4 +1,4 @@
-"""Bench-results schema: records, sweep summary, schema-2 reader."""
+"""Bench-results schema: records, sweep summary, schema-2/3 readers."""
 
 import json
 
@@ -23,14 +23,35 @@ def test_record_carries_every_key():
     assert set(RECORD_KEYS) <= set(record)
     assert record["cache_hit"] is None      # not run through the sweeper
     assert record["worker"] is None
+    assert record["host_seconds"] is None   # no engine stats supplied
+    assert record["sim_cycles_per_host_second"] is None
+
+
+def test_record_lifts_host_time_out_of_engine():
+    engine = {"name": "event", "host_seconds": 0.25,
+              "sim_cycles_per_host_second": 4000.0}
+    record = bench_record("saxpy", cycles=1000, engine=engine)
+    assert record["host_seconds"] == 0.25
+    assert record["sim_cycles_per_host_second"] == 4000.0
 
 
 def test_document_schema_and_sweep_block():
     doc = bench_document("b", [bench_record("w", cycles=1)], sweep=SWEEP)
-    assert doc["schema"] == BENCH_SCHEMA_VERSION == 3
+    assert doc["schema"] == BENCH_SCHEMA_VERSION == 4
     assert doc["sweep"]["cache_hits"] == 1
+    assert doc["telemetry"] is None
+    assert doc["history"] is None
     # no sweep block is legal (non-sweep benches)
     assert bench_document("b", [])["sweep"] is None
+
+
+def test_document_lifts_telemetry_out_of_sweep_summary():
+    """A SweepRunner summary carries its telemetry block inline; the
+    document keeps the strict sweep keys and hoists telemetry up."""
+    summary = dict(SWEEP, telemetry={"workers": {}})
+    doc = bench_document("b", [], sweep=summary)
+    assert doc["sweep"] == SWEEP
+    assert doc["telemetry"] == {"workers": {}}
 
 
 def test_document_rejects_incomplete_records_and_sweeps():
@@ -42,12 +63,13 @@ def test_document_rejects_incomplete_records_and_sweeps():
 
 def test_sweep_record_carries_provenance():
     point = {"spec": {"workload": "w"}, "status": "ok", "cache_hit": True,
-             "worker": 4242, "seconds": 0.1,
+             "worker": 4242, "seconds": 0.1, "queue_wait": 0.02,
              "value": {"cycles": 77, "stats": None}, "error": None}
     record = sweep_record(point, "w", config={"ntiles": 2})
     assert record["cycles"] == 77
     assert record["cache_hit"] is True
     assert record["worker"] == 4242
+    assert record["metrics"]["queue_wait"] == 0.02
 
 
 def test_sweep_record_structured_error():
@@ -63,16 +85,17 @@ def test_sweep_record_structured_error():
 def test_write_then_read_roundtrip(tmp_path):
     path = tmp_path / "doc.json"
     write_bench_json(str(path), "b", [bench_record("w", cycles=9)],
-                     sweep=SWEEP)
+                     sweep=SWEEP, history={"path": "h.jsonl", "seq": 3})
     doc = read_bench_json(str(path))
-    assert doc["schema"] == 3
+    assert doc["schema"] == 4
     assert doc["records"][0]["cycles"] == 9
     assert doc["sweep"] == SWEEP
+    assert doc["history"] == {"path": "h.jsonl", "seq": 3}
 
 
 def test_reader_normalises_schema_2(tmp_path):
     """Documents written before the sweep runner existed stay valid:
-    the reader lifts them to the schema-3 shape in memory."""
+    the reader lifts them to the schema-4 shape in memory."""
     path = tmp_path / "old.json"
     legacy_record = {"workload": "w", "config": None, "cycles": 5,
                      "utilization": None, "stalls": None, "engine": None,
@@ -80,12 +103,36 @@ def test_reader_normalises_schema_2(tmp_path):
     path.write_text(json.dumps(
         {"bench": "b", "schema": 2, "records": [legacy_record]}))
     doc = read_bench_json(str(path))
-    assert doc["schema"] == 3
+    assert doc["schema"] == 4
     assert doc["sweep"] is None
+    assert doc["telemetry"] is None
+    assert doc["history"] is None
     record = doc["records"][0]
     assert record["cycles"] == 5
     assert record["cache_hit"] is None
     assert record["worker"] is None
+    assert record["host_seconds"] is None
+
+
+def test_reader_normalises_schema_3(tmp_path):
+    """Schema-3 documents (pre host-telemetry) stay readable: the new
+    flat host-time keys are lifted from the record's engine block."""
+    path = tmp_path / "v3.json"
+    record = {"workload": "w", "config": None, "cycles": 5,
+              "utilization": None, "stalls": None,
+              "engine": {"name": "event", "host_seconds": 0.5,
+                         "sim_cycles_per_host_second": 10.0},
+              "cache_hit": False, "worker": 7, "metrics": {}}
+    path.write_text(json.dumps(
+        {"bench": "b", "schema": 3, "sweep": SWEEP, "records": [record]}))
+    doc = read_bench_json(str(path))
+    assert doc["schema"] == 4
+    assert doc["sweep"] == SWEEP
+    assert doc["telemetry"] is None
+    out = doc["records"][0]
+    assert out["worker"] == 7
+    assert out["host_seconds"] == 0.5
+    assert out["sim_cycles_per_host_second"] == 10.0
 
 
 def test_reader_rejects_unknown_schema(tmp_path):

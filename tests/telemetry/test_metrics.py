@@ -1,0 +1,104 @@
+"""Metrics registry: counters/gauges/histograms, disabled-path cost."""
+
+import time
+
+import pytest
+
+from repro.errors import TapasError
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    exponential_buckets,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+def test_counter_counts_and_rejects_negative(registry):
+    counter = registry.counter("points")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(TapasError):
+        counter.inc(-1)
+
+
+def test_gauge_sets_and_adds(registry):
+    gauge = registry.gauge("depth")
+    gauge.set(3)
+    gauge.add(-1)
+    assert gauge.value == 2
+
+
+def test_histogram_buckets_and_stats(registry):
+    hist = registry.histogram("lat", buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 5.0, 50.0, 500.0):
+        hist.observe(value)
+    payload = hist.as_dict()
+    assert payload["count"] == 4
+    assert payload["min"] == 0.5 and payload["max"] == 500.0
+    # one observation per bucket, overflow lands in +Inf
+    les = [b["le"] for b in payload["buckets"]]
+    assert les == [1.0, 10.0, 100.0, "+Inf"]
+    assert all(b["count"] == 1 for b in payload["buckets"])
+    assert hist.quantile(0.5) <= 10.0
+
+
+def test_histogram_requires_increasing_bounds(registry):
+    with pytest.raises(TapasError):
+        registry.histogram("bad", buckets=(1.0, 1.0))
+
+
+def test_exponential_buckets_shape():
+    buckets = exponential_buckets(0.001, 10.0, 4)
+    assert buckets == pytest.approx((0.001, 0.01, 0.1, 1.0))
+    assert len(LATENCY_BUCKETS_S) == 20
+
+
+def test_same_name_returns_same_metric_but_type_mismatch_raises(registry):
+    assert registry.counter("x") is registry.counter("x")
+    with pytest.raises(TapasError):
+        registry.gauge("x")
+
+
+def test_disabled_registry_is_inert(registry):
+    registry.disable()
+    counter = registry.counter("c")
+    hist = registry.histogram("h")
+    counter.inc(100)
+    hist.observe(1.0)
+    assert counter.value == 0
+    assert hist.as_dict()["count"] == 0
+    registry.enable()
+    counter.inc()
+    assert counter.value == 1
+
+
+def test_as_dict_round_trips_all_metrics(registry):
+    registry.counter("a").inc(2)
+    registry.gauge("b").set(7)
+    registry.histogram("c").observe(0.01)
+    payload = registry.as_dict()
+    assert payload["a"]["value"] == 2
+    assert payload["b"]["value"] == 7
+    assert payload["c"]["count"] == 1
+    assert sorted(registry.names()) == ["a", "b", "c"]
+
+
+def test_disabled_overhead_is_bounded():
+    """The disabled fast path is one flag test: within an order of
+    magnitude of a plain method call, never hundreds of ns."""
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("hot")
+    hist = registry.histogram("hot_h")
+    n = 50_000
+    start = time.perf_counter()
+    for _ in range(n):
+        counter.inc()
+        hist.observe(1.0)
+    per_pair_ns = (time.perf_counter() - start) / n * 1e9
+    # generous CI bound: 2 disabled calls must stay under 4 microseconds
+    assert per_pair_ns < 4000, f"disabled path costs {per_pair_ns:.0f}ns"

@@ -192,6 +192,58 @@ class TestObservability:
         assert validate_chrome_trace(document) == []
         assert document["traceEvents"]
 
+    def test_profile_host_report(self, kernel_file, capsys):
+        assert main(["profile", kernel_file, "--size", "6", "--host"]) == 0
+        out = capsys.readouterr().out
+        assert "Host profile:" in out
+        assert "Host seconds by component class" in out
+        assert "TaskUnit" in out
+        assert "engine.schedule" in out
+        assert "coverage=" in out
+        assert "Toolchain phases (host spans)" in out
+
+    def test_profile_host_stats_json(self, kernel_file, tmp_path, capsys):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        assert main(["profile", kernel_file, "--size", "6", "--host",
+                     "--stats-json", str(stats_path)]) == 0
+        capsys.readouterr()
+        record = json.loads(stats_path.read_text())
+        profile = record["host_profile"]
+        assert profile["schema"] == 1
+        assert profile["coverage"] >= 0.9
+        assert profile["wall_seconds"] > 0
+        assert any(row["class"] == "TaskUnit" for row in profile["classes"])
+
+    def test_profile_trace_out_carries_host_spans(self, kernel_file,
+                                                  tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["profile", kernel_file, "--size", "6",
+                     "--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        document = json.loads(trace_path.read_text())
+        events = document["traceEvents"]
+        assert any(e["ph"] == "M"
+                   and e["args"].get("name") == "host toolchain"
+                   for e in events)
+        host_names = {e["name"] for e in events
+                      if e.get("cat", "").startswith("host:")}
+        assert {"elaborate", "simulate"} <= host_names
+
+    def test_profile_invalid_trace_exits_nonzero(self, kernel_file,
+                                                 tmp_path, capsys,
+                                                 monkeypatch):
+        import repro.obs
+
+        monkeypatch.setattr(repro.obs, "validate_chrome_trace",
+                            lambda document: ["event 0: missing ph"])
+        assert main(["profile", kernel_file, "--size", "6",
+                     "--trace-out", str(tmp_path / "trace.json")]) == 1
+        assert "missing ph" in capsys.readouterr().err
+
     def test_run_stats_json_schema(self, tmp_path, capsys):
         import json
 
@@ -207,6 +259,11 @@ class TestObservability:
         assert record["cycles"] > 0
         assert record["utilization"]
         assert isinstance(record["stalls"], dict)
+        # schema-4 host telemetry: flat keys plus the registry pointer
+        assert record["host_seconds"] > 0
+        assert record["sim_cycles_per_host_second"] > 0
+        assert record["history"]["path"].endswith("runs.jsonl")
+        assert isinstance(record["history"]["seq"], int)
 
     def test_run_check_repro(self, capsys):
         assert main(["run", "saxpy", "--check-repro"]) == 0
@@ -231,9 +288,14 @@ class TestObservability:
         cold = capsys.readouterr().out
         assert "2 points" in cold and "0 cache hit(s)" in cold
         document = json.loads(out_path.read_text())
-        assert document["schema"] == 3
+        assert document["schema"] == 4
         assert document["sweep"]["cache_misses"] == 2
         assert all(r["cycles"] > 0 for r in document["records"])
+        # schema-4 document blocks: sweep telemetry + history pointer
+        assert document["telemetry"]["point_seconds"]["count"] == 2
+        assert document["telemetry"]["workers"]
+        assert document["telemetry"]["cache"]["misses"] >= 2
+        assert document["history"]["path"].endswith("runs.jsonl")
         # second run: every point served from the cache
         assert main(argv) == 0
         warm = capsys.readouterr().out
