@@ -1,22 +1,48 @@
-"""Simulator throughput: event-driven kernel vs the dense oracle.
+"""Simulator throughput: the three-engine matrix (dense / event / compiled).
 
 Not a paper figure — this measures the *host-side* cost of the cycle
-simulator itself. The event engine (wakeup scheduling plus quiescent
-fast-forward) must (i) stay bit-identical to the dense engine on every
-config here, and (ii) deliver a large wall-clock win on memory-bound
-workloads, where most cycles are DRAM-latency quiet spans.
+simulator itself. Two layered optimisations are gated here:
+
+* the **event engine** (wakeup scheduling plus quiescent fast-forward)
+  must deliver a large wall-clock win over the dense oracle on
+  memory-bound workloads, where most cycles are DRAM-latency quiet
+  spans, while staying within noise of the oracle on always-hot ones;
+* the **compiled engine** (per-design specialized flat kernels,
+  ``repro.sim.compile``) must beat the event engine *everywhere*: it
+  inherits the event engine's fast-forward, then removes Python
+  interpretation overhead from the cycles that actually execute.
+
+All three engines must stay bit-identical on every config here (cycle
+counts asserted below; the full stats contract is enforced by
+``tests/sim/test_engine_diff.py`` and the hypothesis parity properties).
 
 Configurations:
 
 * ``fib`` / ``mergesort`` / ``stencil`` — default configs: activity is
-  dense (something fires almost every cycle), so there is little to
-  skip. The engine's hot-set scheduling and adaptive dense fallback
-  must hold its overhead under 5% of the dense oracle here.
+  dense (something fires almost every cycle), so there is nothing to
+  fast-forward and every saved microsecond must come from cheaper
+  per-cycle execution.
 * ``saxpy-membound`` — 1 KB cache, a single MSHR (the paper's §VI notes
   TAPAS has limited support for multiple outstanding misses), 270-cycle
   DRAM latency (the paper's Table V DRAM access time). Nearly every
-  cycle is a quiet DRAM wait: the regime the fast-forward optimisation
-  targets. Gate: >= 5x speedup.
+  cycle is a quiet DRAM wait: the fast-forward regime.
+
+Gates (best-of-N interleaved wall clock, thresholds ~30-40% under the
+measured speedups to absorb shared-runner noise — the measured numbers
+and the analysis of why the compiled engine plateaus at ~2-3x over the
+event engine on always-hot workloads live in docs/simulator.md):
+
+========================  =======================  ====================
+case                      compiled vs event        compiled vs dense
+========================  =======================  ====================
+fib                       >= 1.4x  (meas. ~2.2x)   --
+mergesort                 >= 1.7x  (meas. ~2.6x)   --
+stencil                   >= 1.6x  (meas. ~2.5x)   --
+saxpy-membound            >= 1.2x  (meas. ~1.8x)   >= 6x (meas. ~11x)
+========================  =======================  ====================
+
+The event engine keeps its original gates: >= 5x over dense on the
+memory-bound case, within 5% of dense on always-hot ones.
 
 The cases run through the SweepRunner like every other bench, but with
 the result cache disabled and a single worker: this bench measures host
@@ -32,6 +58,9 @@ from repro.exp import config_from_spec, register_evaluator
 from repro.reports import render_table, sweep_record
 from repro.workloads import REGISTRY
 
+#: the three kernels under test, in measurement-interleave order
+ENGINES = ("dense", "event", "compiled")
+
 #: (row name, workload, scale, plain-JSON config overrides)
 CASES = [
     ("fib", "fibonacci", 2, {}),
@@ -43,7 +72,19 @@ CASES = [
       "dram_latency_cycles": 270}),
 ]
 
-#: wall-clock gate for the memory-bound case (observers detached)
+#: compiled-vs-event wall-clock floor per case (see the module table)
+COMPILED_MIN_SPEEDUP = {
+    "fib": 1.4,
+    "mergesort": 1.7,
+    "stencil": 1.6,
+    "saxpy-membound": 1.2,
+}
+
+#: compiled-vs-dense floor on the memory-bound case: fast-forward and
+#: specialization compose, so the product gate is the headline number
+COMPILED_MEMBOUND_VS_DENSE = 6.0
+
+#: event-vs-dense gate for the memory-bound case (observers detached)
 MEMBOUND_MIN_SPEEDUP = 5.0
 
 #: even on always-hot workloads (fib: something fires nearly every
@@ -51,23 +92,22 @@ MEMBOUND_MIN_SPEEDUP = 5.0
 #: under 5% of the dense oracle
 ALWAYS_HOT_MIN_SPEEDUP = 0.95
 
-
 #: wall-clock repetitions per (case, engine); best-of damps allocator
 #: warm-up and scheduler noise, which on a shared single-core host
-#: swamps the few percent the always-hot gate is about
+#: swamps the margins the gates are about
 MEASURE_REPS = 5
 
 
 def _eval_throughput_case(spec):
-    """Best-of-N seconds for both engines, repetitions interleaved:
-    host noise is time-correlated, so alternating dense/event inside
-    each rep exposes both engines to the same noisy patches instead of
-    letting one engine soak up a slow spell alone."""
+    """Best-of-N seconds for all three engines, repetitions interleaved:
+    host noise is time-correlated, so rotating dense/event/compiled
+    inside each rep exposes every engine to the same noisy patches
+    instead of letting one engine soak up a slow spell alone."""
     workload = REGISTRY.get(spec["workload"])
     best = {}
     results = {}
     for _ in range(MEASURE_REPS):
-        for engine in ("dense", "event"):
+        for engine in ENGINES:
             config = config_from_spec(workload, dict(spec, engine=engine))
             start = time.perf_counter()
             result = workload.run(config, scale=spec["scale"])
@@ -76,20 +116,32 @@ def _eval_throughput_case(spec):
             if engine not in best or seconds < best[engine]:
                 best[engine] = seconds
                 results[engine] = result
-    dense, event = results["dense"], results["event"]
-    assert dense.cycles == event.cycles, spec["case"]
-    engine_stats = event.stats["engine"]
+    cycles = {engine: results[engine].cycles for engine in ENGINES}
+    assert len(set(cycles.values())) == 1, (spec["case"], cycles)
+    compiled = results["compiled"]
+    engine_stats = compiled.stats["engine"]
+    assert engine_stats.get("compiled_fallback") is None, (
+        f"{spec['case']}: compiled run fell back "
+        f"({engine_stats['compiled_fallback']!r})")
+
+    def _ratio(a, b):
+        return best[a] / best[b] if best[b] else float("inf")
+
     return {
         "name": spec["case"], "workload": spec["workload"],
         "scale": spec["scale"],
-        "cycles": event.cycles,
-        "dense_seconds": best["dense"], "event_seconds": best["event"],
-        "speedup": (best["dense"] / best["event"]
-                    if best["event"] else float("inf")),
-        "ticks_executed": engine_stats["ticks_executed"],
-        "fast_forwarded_cycles": engine_stats["fast_forwarded_cycles"],
-        "stats": event.stats,
-        "dense_stats": dense.stats["engine"],
+        "cycles": compiled.cycles,
+        "seconds": {engine: best[engine] for engine in ENGINES},
+        "event_speedup": _ratio("dense", "event"),
+        "compiled_speedup": _ratio("event", "compiled"),
+        "compiled_vs_dense": _ratio("dense", "compiled"),
+        "cycles_per_second": (compiled.cycles / best["compiled"]
+                              if best["compiled"] else float("inf")),
+        "fast_forwarded_cycles":
+            results["event"].stats["engine"]["fast_forwarded_cycles"],
+        "stats": compiled.stats,
+        "dense_stats": results["dense"].stats["engine"],
+        "event_stats": results["event"].stats["engine"],
     }
 
 
@@ -111,41 +163,62 @@ def test_sim_throughput(benchmark, save_result, save_json):
     rows = result.values
 
     table = render_table(
-        ["Case", "Cycles", "Dense s", "Event s", "Speedup",
-         "Ticks", "Fast-fwd"],
-        [[r["name"], r["cycles"], round(r["dense_seconds"], 3),
-          round(r["event_seconds"], 3), f"{r['speedup']:.2f}x",
-          r["ticks_executed"], r["fast_forwarded_cycles"]]
+        ["Case", "Cycles", "Dense s", "Event s", "Compiled s",
+         "Evt/Dns", "Cmp/Evt", "Cmp/Dns", "Mcyc/s"],
+        [[r["name"], r["cycles"],
+          round(r["seconds"]["dense"], 3),
+          round(r["seconds"]["event"], 3),
+          round(r["seconds"]["compiled"], 3),
+          f"{r['event_speedup']:.2f}x",
+          f"{r['compiled_speedup']:.2f}x",
+          f"{r['compiled_vs_dense']:.2f}x",
+          round(r["cycles_per_second"] / 1e6, 3)]
          for r in rows],
-        title="Simulator throughput — dense oracle vs event-driven kernel")
+        title="Simulator throughput — dense oracle vs event engine "
+              "vs compiled kernels")
     save_result("sim_throughput", table)
     save_json("sim_throughput", [
         sweep_record(record, record["value"]["workload"],
                      config={"ntiles": 2, "scale": record["value"]["scale"],
                              "case": record["value"]["name"]},
                      dense_host_seconds=round(
-                         record["value"]["dense_seconds"], 6),
+                         record["value"]["seconds"]["dense"], 6),
                      event_host_seconds=round(
-                         record["value"]["event_seconds"], 6),
-                     speedup=round(record["value"]["speedup"], 2),
-                     ticks_executed=record["value"]["ticks_executed"],
+                         record["value"]["seconds"]["event"], 6),
+                     compiled_host_seconds=round(
+                         record["value"]["seconds"]["compiled"], 6),
+                     event_speedup=round(record["value"]["event_speedup"], 2),
+                     compiled_speedup=round(
+                         record["value"]["compiled_speedup"], 2),
+                     compiled_vs_dense=round(
+                         record["value"]["compiled_vs_dense"], 2),
                      fast_forwarded_cycles=record["value"][
                          "fast_forwarded_cycles"])
         for record in result.records], sweep=result.summary)
 
     by_name = {r["name"]: r for r in rows}
     membound = by_name["saxpy-membound"]
-    # the headline gate: fast-forward pays off where cycles are quiet
-    assert membound["speedup"] >= MEMBOUND_MIN_SPEEDUP, (
-        f"memory-bound speedup {membound['speedup']:.2f}x "
+    # event-engine gates (unchanged from the two-engine bench): the
+    # fast-forward pays off where cycles are quiet ...
+    assert membound["event_speedup"] >= MEMBOUND_MIN_SPEEDUP, (
+        f"memory-bound event speedup {membound['event_speedup']:.2f}x "
         f"< {MEMBOUND_MIN_SPEEDUP}x")
     assert membound["fast_forwarded_cycles"] > membound["cycles"] // 2
-    # dense-activity workloads must not regress: hot-set scheduling
-    # (steadily-active components are ticked straight off a flat list,
-    # never re-enqueued per cycle) plus the adaptive dense fallback
-    # (oracle stepping whenever a sampling window shows nothing to
-    # skip) keep the event engine within 5% of the dense oracle
+    # ... while hot-set scheduling plus the adaptive dense fallback keep
+    # the event engine within 5% of the dense oracle where nothing can
+    # be skipped
     for name in ("fib", "mergesort", "stencil"):
-        assert by_name[name]["speedup"] >= ALWAYS_HOT_MIN_SPEEDUP, (
-            f"{name}: event engine {by_name[name]['speedup']:.2f}x dense "
-            f"< {ALWAYS_HOT_MIN_SPEEDUP}x on an always-hot workload")
+        assert by_name[name]["event_speedup"] >= ALWAYS_HOT_MIN_SPEEDUP, (
+            f"{name}: event engine {by_name[name]['event_speedup']:.2f}x "
+            f"dense < {ALWAYS_HOT_MIN_SPEEDUP}x on an always-hot workload")
+    # compiled-engine gates: specialized kernels must beat the event
+    # engine on every case — always-hot wins come from cheaper executed
+    # cycles, the memory-bound win stacks on top of fast-forward
+    for name, floor in COMPILED_MIN_SPEEDUP.items():
+        got = by_name[name]["compiled_speedup"]
+        assert got >= floor, (
+            f"{name}: compiled kernel {got:.2f}x event < {floor}x")
+    assert membound["compiled_vs_dense"] >= COMPILED_MEMBOUND_VS_DENSE, (
+        f"memory-bound compiled-vs-dense "
+        f"{membound['compiled_vs_dense']:.2f}x "
+        f"< {COMPILED_MEMBOUND_VS_DENSE}x")

@@ -83,18 +83,21 @@ class AcceleratorConfig:
     #:   "strict" — refuse to build on any race finding
     analysis_level: str = "none"
     #: simulation kernel: "event" (wakeup scheduling + quiescent
-    #: fast-forward) or "dense" (tick everything every cycle — the
-    #: bit-identical oracle). Purely a host-side choice; cycle counts and
-    #: architectural stats are identical between the two.
+    #: fast-forward), "dense" (tick everything every cycle — the
+    #: bit-identical oracle), or "compiled" (per-design generated flat
+    #: kernel; falls back to "event" for instrumentation/topologies the
+    #: codegen does not cover). Purely a host-side choice; cycle counts
+    #: and architectural stats are identical across all three.
     engine: str = "event"
 
     def __post_init__(self):
         if self.memory_model not in ("cache", "scratchpad"):
             raise ConfigError(
                 f"unknown memory model {self.memory_model!r}")
-        if self.engine not in ("event", "dense"):
+        if self.engine not in ("event", "dense", "compiled"):
             raise ConfigError(
-                f"unknown engine {self.engine!r} (expected event/dense)")
+                f"unknown engine {self.engine!r} "
+                "(expected event/dense/compiled)")
         if self.analysis_level not in ("none", "warn", "strict"):
             raise ConfigError(
                 f"unknown analysis level {self.analysis_level!r} "

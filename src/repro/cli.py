@@ -500,13 +500,63 @@ def cmd_profile(args) -> int:
     return 0 if trace_ok else 1
 
 
-def cmd_diff(args) -> int:
-    """Differential run: dense vs event engine on one source file.
+def _channel_drivers(sim) -> dict:
+    """Channel name -> name of the component that pushes into it, from
+    the components' declared ``ports()`` wiring (opaque components are
+    simply absent)."""
+    drivers = {}
+    for component in sim.components:
+        ports = component.ports()
+        if not ports:
+            continue
+        _inputs, outputs = ports
+        for channel in outputs:
+            if channel is not None:
+                drivers.setdefault(channel.name, component.name)
+    return drivers
 
-    The event engine's contract is bit-identical cycle counts and
-    architectural stats against the dense oracle; this command checks it
-    end to end on an arbitrary ``.cilk`` source (CI runs it over every
-    file in ``examples/programs/``).
+
+def _first_movement_divergence(base_log, other_log, base_name, other_name,
+                               drivers):
+    """First cycle where two movement logs disagree, described as the
+    channels (with their driving components) that moved under only one
+    engine. None when the logs are identical (the divergence is then in
+    stats only)."""
+    base, other = dict(base_log), dict(other_log)
+
+    def _fmt(names):
+        return ", ".join(
+            name + (f" (driven by {drivers[name]})" if name in drivers
+                    else "")
+            for name in sorted(names))
+
+    for cycle in sorted(set(base) | set(other)):
+        moved_base = set(base.get(cycle, ()))
+        moved_other = set(other.get(cycle, ()))
+        if moved_base == moved_other:
+            continue
+        parts = []
+        if moved_base - moved_other:
+            parts.append(f"{_fmt(moved_base - moved_other)} moved under "
+                         f"{base_name} only")
+        if moved_other - moved_base:
+            parts.append(f"{_fmt(moved_other - moved_base)} moved under "
+                         f"{other_name} only")
+        return cycle, "; ".join(parts)
+    return None
+
+
+def cmd_diff(args) -> int:
+    """Differential run: every engine against the dense oracle on one
+    source file.
+
+    The event and compiled engines' contract is bit-identical cycle
+    counts and architectural stats against the dense oracle; this
+    command checks it end to end on an arbitrary ``.cilk`` source (CI
+    runs it over every file in ``examples/programs/``). On divergence it
+    walks the per-cycle channel-movement logs of both runs and reports
+    the first cycle the engines disagree on, naming the channel(s) and
+    the component driving them.
     """
     module = _load_module(args.source)
     function = (module.function(args.entry) if args.entry
@@ -516,27 +566,52 @@ def cmd_diff(args) -> int:
               + (f" named {args.entry!r}" if args.entry else "")
               + f" in {args.source}", file=sys.stderr)
         return 1
+    # the dense oracle leads by default: it is the reference the other
+    # engines' bit-identity contract is defined against
+    engines = ([e.strip() for e in args.engines.split(",") if e.strip()]
+               if args.engines else ["dense", "event", "compiled"])
+    unknown = [e for e in engines if e not in ENGINES]
+    if unknown or len(engines) < 2:
+        print(f"error: --engines needs >= 2 of {', '.join(ENGINES)}",
+              file=sys.stderr)
+        return 1
 
     outcomes = {}
-    for engine in ("dense", "event"):
+    logs = {}
+    drivers = {}
+    for engine in engines:
         config = AcceleratorConfig(default_ntiles=args.tiles, engine=engine)
         accel = build_accelerator(module, config)
+        logs[engine] = accel.sim.enable_movement_log()
+        drivers = _channel_drivers(accel.sim)
         entry_args = _default_profile_args(function, accel.memory, args.size)
         result = accel.run(function.name, entry_args)
         stats = dict(result.stats)
         stats.pop("engine", None)  # host-side numbers legitimately differ
         outcomes[engine] = (result.cycles, result.retval, stats)
 
-    dense, event = outcomes["dense"], outcomes["event"]
+    baseline = engines[0]
     label = f"{module.name}:{function.name}"
-    if dense != event:
-        print(f"error: {label}: engines diverge "
-              f"(dense {dense[0]} cycles, event {event[0]} cycles"
-              + ("" if dense[1:] == event[1:] else "; retval/stats differ")
-              + ")", file=sys.stderr)
+    failed = False
+    for engine in engines[1:]:
+        if outcomes[engine] == outcomes[baseline]:
+            continue
+        failed = True
+        base, other = outcomes[baseline], outcomes[engine]
+        where = _first_movement_divergence(
+            logs[baseline], logs[engine], baseline, engine, drivers)
+        detail = (f"; first divergent cycle {where[0]}: {where[1]}"
+                  if where else "; channel movement identical "
+                                "(stats-only divergence)")
+        print(f"error: {label}: {baseline} vs {engine} diverge "
+              f"({baseline} {base[0]} cycles, {engine} {other[0]} cycles"
+              + ("" if base[1:] == other[1:] else "; retval/stats differ")
+              + ")" + detail, file=sys.stderr)
+    if failed:
         return 1
-    print(f"{label}: engines agree, {dense[0]} cycles "
-          f"(retval {dense[1]!r})")
+    print(f"{label}: engines agree ({', '.join(engines)}), "
+          f"{outcomes[baseline][0]} cycles "
+          f"(retval {outcomes[baseline][1]!r})")
     return 0
 
 
@@ -756,12 +831,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("diff",
-                       help="check dense and event engines agree bit-exactly")
+                       help="check the simulation engines agree bit-exactly")
     p.add_argument("source")
     p.add_argument("--entry", help="entry function (default: first function)")
     p.add_argument("--tiles", type=int, default=1)
     p.add_argument("--size", type=int, default=12,
                    help="synthesized input size / scalar value (default 12)")
+    p.add_argument("--engines", metavar="A,B[,C]",
+                   help="engines to compare, first is the baseline "
+                        "(default: dense,event,compiled)")
     p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser(

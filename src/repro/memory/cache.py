@@ -163,7 +163,11 @@ class Cache(Component):
     def _handle_fill(self, cycle: int):
         if not self.dram_response.can_pop():
             return
-        fill = self.dram_response.pop()
+        self._apply_fill(self.dram_response.pop(), cycle)
+
+    def _apply_fill(self, fill, cycle: int):
+        """Install a popped DRAM fill (channel-free: the compiled engine
+        pops the response itself and delegates here)."""
         line_addr = fill.tag  # we tag DRAM fills with the line address
         mshr = self._mshrs.pop(line_addr, None)
         if mshr is None:

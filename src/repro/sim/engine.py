@@ -1,9 +1,16 @@
 """The cycle engine: a two-phase clock over components and channels.
 
-Two engines share one contract:
+Three engines share one contract:
 
 * ``engine="dense"`` — the original oracle loop: every component ticks
   and every channel commits on every cycle.
+* ``engine="compiled"`` — a per-design specialized kernel: a codegen
+  pass (:mod:`repro.sim.compile`) flattens the elaborated netlist into
+  one generated Python module with inlined handshakes and per-component
+  tick bodies specialized on their static configuration, ``exec``'d and
+  cached content-addressed by design fingerprint. Designs or
+  instrumentation the codegen does not support fall back to the event
+  engine explicitly (``Simulator.compiled_fallback`` records why).
 * ``engine="event"`` (default) — an event-driven kernel. Components
   declare *sensitivity* (the channels they read/write) and an optional
   self-wake timer (:meth:`Component.next_wake`); the engine keeps a
@@ -99,7 +106,12 @@ DEADLOCK_WINDOW = 2048
 #: (e.g. a task-queue-full circular wait in deep recursion).
 STALL_WINDOW = 32768
 
-ENGINES = ("event", "dense")
+ENGINES = ("event", "dense", "compiled")
+
+#: upper bound on recorded movement-log entries (`repro diff` first-
+#: divergence reporting); beyond this the log stops growing and the
+#: divergence is reported as "past the recorded window"
+MOVEMENT_LOG_CAP = 1_000_000
 
 
 class Simulator:
@@ -124,6 +136,14 @@ class Simulator:
         #: None keeps both engines' commit paths at one pointer test per
         #: cycle — sim cycles are bit-identical either way
         self.host_profile = None
+        #: optional movement trace for differential debugging: when set to
+        #: a list, every cycle with channel movement appends
+        #: ``(cycle, (sorted channel names...))`` — identical across
+        #: engines, so `repro diff` can report the first divergent cycle
+        self._movement_log = None
+        #: why the compiled engine fell back to the event engine on the
+        #: last run (None = ran compiled, or engine != "compiled")
+        self.compiled_fallback = None
         # -- event-engine state ------------------------------------------
         #: channels with a pending push/pop this cycle (self-registered)
         self._dirty_channels: List[Channel] = []
@@ -177,6 +197,17 @@ class Simulator:
         self.observer = observer
         return observer
 
+    def enable_movement_log(self) -> list:
+        """Record ``(cycle, (sorted channel names...))`` for every cycle
+        with committed channel movement. Bit-identical across all three
+        engines, so two logs diverge exactly at the first cycle two runs
+        disagree — ``repro diff`` uses this to attribute a divergence to
+        a channel and its driving component. Capped at
+        :data:`MOVEMENT_LOG_CAP` entries."""
+        if self._movement_log is None:
+            self._movement_log = []
+        return self._movement_log
+
     def enable_host_profile(self, profiler=None):
         """Install per-component-class host-time attribution (see
         :mod:`repro.telemetry.hostprof`). Call after construction is
@@ -207,7 +238,16 @@ class Simulator:
         self._component_ticks += len(components)
         moved = False
         profile = self.host_profile
-        if profile is None:
+        log = self._movement_log
+        if log is not None:
+            names = []
+            for channel in self.channels:
+                if channel.commit():
+                    moved = True
+                    names.append(channel.name)
+            if names and len(log) < MOVEMENT_LOG_CAP:
+                log.append((executed, tuple(sorted(names))))
+        elif profile is None:
             for channel in self.channels:
                 if channel.commit():
                     moved = True
@@ -248,6 +288,8 @@ class Simulator:
         try:
             if self.engine == "dense":
                 self._run_dense(done, start, max_cycles)
+            elif self.engine == "compiled":
+                self._run_compiled(done, start, max_cycles)
             else:
                 self._run_event(done, start, max_cycles)
         finally:
@@ -282,6 +324,26 @@ class Simulator:
                     f"simulation exceeded {max_cycles} cycles without finishing")
             tick()
             check()
+
+    # -- the compiled kernel -------------------------------------------------
+
+    def _run_compiled(self, done, start, max_cycles):
+        """Run the design through its generated per-design kernel.
+
+        The codegen pass lives in :mod:`repro.sim.compile`; designs or
+        instrumentation it cannot specialize (observers, host profiling,
+        value probes, unit traces, unrecognized component classes) fall
+        back to the event engine — still bit-identical, just slower —
+        with the reason recorded in :attr:`compiled_fallback`."""
+        from repro.sim.compile import prepare_kernel
+
+        kernel, reason = prepare_kernel(self)
+        if kernel is None:
+            self.compiled_fallback = reason
+            self._run_event(done, start, max_cycles)
+            return
+        self.compiled_fallback = None
+        kernel(self, done, start, max_cycles, self._movement_log)
 
     # -- the event-driven kernel -------------------------------------------
 
@@ -446,12 +508,16 @@ class Simulator:
         moved = False
         if self._dirty_channels:
             profile = self.host_profile
+            log = self._movement_log
+            names = None if log is None else []
             t0 = 0 if profile is None else time.perf_counter_ns()
             dirty = self._dirty_channels
             self._dirty_channels = []
             for channel in dirty:
                 if channel.commit():
                     moved = True
+                    if names is not None:
+                        names.append(channel.name)
                     for subscriber in channel._subscribers:
                         # hot subscribers carry the HOT sentinel, so this
                         # wake test skips them without a re-enqueue
@@ -460,6 +526,8 @@ class Simulator:
                             due.append(subscriber)
             if profile is not None:
                 profile.commit_ns += time.perf_counter_ns() - t0
+            if names and len(log) < MOVEMENT_LOG_CAP:
+                log.append((executed, tuple(sorted(names))))
         self.cycle = next_cycle
         self._account(moved)
         if self.observer is not None:
@@ -580,7 +648,7 @@ class Simulator:
         """Host-side performance of the simulation itself (never part of
         the bit-identical architectural stats)."""
         seconds = self.host_seconds
-        return {
+        stats = {
             "name": self.engine,
             "host_seconds": round(seconds, 6),
             "sim_cycles_per_host_second":
@@ -591,6 +659,9 @@ class Simulator:
             "fast_forwarded_cycles": self._fast_forwarded_cycles,
             "dense_fallback_cycles": self._dense_fallback_cycles,
         }
+        if self.engine == "compiled":
+            stats["compiled_fallback"] = self.compiled_fallback
+        return stats
 
     def stats(self) -> Dict[str, dict]:
         """Architectural stats plus engine metadata.

@@ -178,7 +178,11 @@ class TaskUnit(Component):
     def _accept_join(self, cycle: int):
         if not self.join_in.can_pop():
             return
-        msg: JoinMessage = self.join_in.pop()
+        self._apply_join(self.join_in.pop(), cycle)
+
+    def _apply_join(self, msg: "JoinMessage", cycle: int):
+        """Process a popped join message (channel-free: the compiled
+        engine pops the channel itself and delegates here)."""
         if msg.join_kind == JOIN_CALL:
             tile_index, uid, node_idx = msg.call_token
             self.tiles[tile_index].deliver_call_return(
@@ -199,7 +203,11 @@ class TaskUnit(Component):
             return
         if not self.queue.has_free_entry():
             return  # backpressure: spawn waits in the network
-        msg: SpawnMessage = self.spawn_in.pop()
+        self._apply_spawn(self.spawn_in.pop(), cycle)
+
+    def _apply_spawn(self, msg: "SpawnMessage", cycle: int):
+        """Allocate a popped spawn message (channel-free: the compiled
+        engine pops the channel itself and delegates here)."""
         if msg.dest_sid != self.sid:
             raise SimulationError(
                 f"{self.name}: spawn for SID {msg.dest_sid} routed to "

@@ -226,7 +226,11 @@ class TXUTile:
     def _pop_memory_response(self, cycle: int):
         if not self.response_in.can_pop():
             return
-        resp = self.response_in.pop()
+        self._apply_response(self.response_in.pop(), cycle)
+
+    def _apply_response(self, resp, cycle: int):
+        """Retire a popped memory response (channel-free: the compiled
+        engine pops the channel itself and delegates here)."""
         inst = self._by_uid.get(resp.tag.instance)
         if inst is None:
             raise SimulationError(

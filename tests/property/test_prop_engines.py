@@ -190,12 +190,14 @@ def test_busy_livelock_fires_identically(capacity, fill):
 @settings(max_examples=8, **_SETTINGS)
 def test_random_accelerator_configs_bit_identical(tiles, mshrs, dram_latency,
                                                   cache_bytes):
+    """All three engines — the compiled case regenerates a specialized
+    kernel per sampled topology, so this doubles as a codegen fuzz."""
     from repro.memory.cache import CacheParams
     from repro.workloads import REGISTRY
 
     workload = REGISTRY.get("saxpy")
     outcomes = {}
-    for engine in ("dense", "event"):
+    for engine in ("dense", "event", "compiled"):
         config = workload.default_config(
             tiles, engine=engine,
             cache=CacheParams(size_bytes=cache_bytes, mshr_count=mshrs),
@@ -206,4 +208,29 @@ def test_random_accelerator_configs_bit_identical(tiles, mshrs, dram_latency,
         outcomes[engine] = (result.cycles, result.retval, stats,
                             result.correct)
     assert outcomes["dense"] == outcomes["event"]
+    assert outcomes["dense"] == outcomes["compiled"]
     assert outcomes["event"][3]  # and the answer is right
+
+
+@given(workload_name=st.sampled_from(["fibonacci", "mergesort", "dedup"]),
+       tiles=st.sampled_from([1, 2, 4]),
+       scale=st.integers(1, 3))
+@settings(max_examples=8, **_SETTINGS)
+def test_compiled_kernel_parity_across_workloads(workload_name, tiles, scale):
+    """Always-hot workloads under the compiled kernel: every sampled
+    (workload, tiles) pair elaborates a different netlist, so the
+    generated stepper/dispatch/plumbing code paths all get exercised
+    against the dense oracle."""
+    from repro.workloads import REGISTRY
+
+    workload = REGISTRY.get(workload_name)
+    outcomes = {}
+    for engine in ("dense", "compiled"):
+        result = workload.run(workload.default_config(tiles, engine=engine),
+                              scale=scale)
+        stats = dict(result.stats)
+        stats.pop("engine")
+        outcomes[engine] = (result.cycles, result.retval, stats,
+                            result.correct)
+    assert outcomes["dense"] == outcomes["compiled"]
+    assert outcomes["compiled"][3]

@@ -1,0 +1,234 @@
+"""Compiled-engine specifics: codegen determinism, content-addressed
+kernel caching, and the instrumentation fallback matrix.
+
+Bit-identity of the compiled kernel against the dense oracle and the
+event engine is covered by the three-engine matrix in
+``tests/sim/test_engine_diff.py`` and the hypothesis parity properties
+in ``tests/property/test_prop_engines.py``; this file owns everything
+about *how* the kernel is produced, cached and bypassed.
+"""
+
+import pytest
+
+import repro.exp.cache
+from repro.accel import AcceleratorConfig, build_accelerator
+from repro.frontend import compile_source
+from repro.obs import Observer
+from repro.sim.compile import (
+    clear_kernel_cache,
+    generate_source,
+    kernel_cache_dir,
+    kernel_digest,
+    prepare_kernel,
+)
+from repro.workloads import REGISTRY
+
+FIB = """
+func fib(n: i32) -> i32 {
+  if (n < 2) {
+    return n;
+  }
+  var x: i32 = spawn fib(n - 1);
+  var y: i32 = spawn fib(n - 2);
+  sync;
+  return x + y;
+}
+"""
+
+
+def _build(tiles=2, source=FIB, name="fib", engine="compiled"):
+    module = compile_source(source, name)
+    return build_accelerator(
+        module, AcceleratorConfig(default_ntiles=tiles, engine=engine))
+
+
+class TestCodegenDeterminism:
+    def test_same_design_yields_byte_identical_source(self):
+        """Two independent elaborations of the same design must generate
+        byte-identical kernel source — the precondition for
+        content-addressed caching to ever hit."""
+        first = generate_source(_build().sim)
+        second = generate_source(_build().sim)
+        assert first == second
+        assert kernel_digest(first) == kernel_digest(second)
+
+    def test_generation_is_repeatable_on_one_sim(self):
+        sim = _build().sim
+        assert generate_source(sim) == generate_source(sim)
+
+    def test_different_designs_yield_different_source(self):
+        assert (generate_source(_build(tiles=1).sim)
+                != generate_source(_build(tiles=4).sim))
+
+
+class TestKernelCache:
+    def test_digest_folds_code_fingerprint(self, monkeypatch):
+        """Mirrors the ResultCache discipline (tests/exp/test_cache.py):
+        an edit anywhere under src/repro rolls every kernel digest, so a
+        stale kernel can never be replayed against newer semantics."""
+        source = generate_source(_build().sim)
+        before = kernel_digest(source)
+        monkeypatch.setattr(repro.exp.cache, "_fingerprint", "f" * 64)
+        after = kernel_digest(source)
+        assert before != after
+
+    def test_digest_folds_source(self):
+        assert (kernel_digest("cycle = 0\n")
+                != kernel_digest("cycle = 1\n"))
+
+    def test_kernel_source_mirrored_to_cache_dir(self):
+        """prepare_kernel writes the generated module to
+        <cache-dir>/kernels/<digest>.py for offline inspection, and the
+        file content round-trips the generated source exactly."""
+        sim = _build().sim
+        kernel, reason = prepare_kernel(sim)
+        assert reason is None and kernel is not None
+        source = generate_source(sim)
+        digest = sim.compiled_digest
+        assert digest == kernel_digest(source)
+        path = kernel_cache_dir() / (digest + ".py")
+        assert path.exists()
+        assert path.read_text(encoding="utf-8") == source
+
+    def test_module_cache_reuses_compiled_module(self):
+        clear_kernel_cache()
+        from repro.sim import compile as compile_mod
+
+        prepare_kernel(_build().sim)
+        assert len(compile_mod._MODULES) == 1
+        prepare_kernel(_build().sim)  # same design: no recompilation
+        assert len(compile_mod._MODULES) == 1
+        prepare_kernel(_build(tiles=4).sim)  # new design: new module
+        assert len(compile_mod._MODULES) == 2
+
+
+class TestFallbackMatrix:
+    """Instrumentation the kernel cannot specialize routes the run
+    through the event engine, with the reason recorded on
+    ``Simulator.compiled_fallback`` (still bit-identical, just slower).
+    docs/observability.md documents this matrix."""
+
+    def test_plain_run_does_not_fall_back(self):
+        workload = REGISTRY.get("fibonacci")
+        config = workload.default_config(2, engine="compiled")
+        result = workload.run(config)
+        assert result.correct
+        assert result.stats["engine"]["name"] == "compiled"
+        assert result.stats["engine"]["compiled_fallback"] is None
+
+    def test_observer_falls_back_to_event(self):
+        accel = _build()
+        kernel, reason = prepare_kernel(accel.sim)
+        assert kernel is not None
+        accel.sim.attach_observer(Observer())
+        kernel, reason = prepare_kernel(accel.sim)
+        assert kernel is None and "observer" in reason
+
+    def test_observer_fallback_still_bit_identical(self):
+        """An observed compiled run must equal an observed dense run —
+        the fallback path keeps the instrumentation contract."""
+        workload = REGISTRY.get("fibonacci")
+        outcomes = {}
+        observers = {}
+        for engine in ("dense", "compiled"):
+            observer = Observer()
+            config = workload.default_config(2, engine=engine)
+            result = workload.run(config, observer=observer)
+            stats = dict(result.stats)
+            engine_stats = stats.pop("engine")
+            outcomes[engine] = (result.cycles, result.retval, stats)
+            observers[engine] = observer
+            if engine == "compiled":
+                # the observer forced the event kernel underneath
+                assert "observer" in engine_stats["compiled_fallback"]
+        assert outcomes["dense"] == outcomes["compiled"]
+        assert (observers["dense"].as_dict()
+                == observers["compiled"].as_dict())
+
+    def test_host_profile_falls_back(self):
+        accel = _build()
+        accel.sim.enable_host_profile()
+        kernel, reason = prepare_kernel(accel.sim)
+        assert kernel is None and "host profiling" in reason
+
+    def test_unknown_component_falls_back(self):
+        from repro.sim import Component, Simulator
+
+        class Exotic(Component):
+            def tick(self, cycle):
+                pass
+
+        sim = Simulator(engine="compiled")
+        sim.add_component(Exotic("weird"))
+        kernel, reason = prepare_kernel(sim)
+        assert kernel is None and "Exotic" in reason
+
+    def test_fallback_reason_recorded_on_run(self):
+        accel = _build()
+        accel.sim.attach_observer(Observer())
+        module = compile_source(FIB, "fib")
+        function = module.functions[0]
+        accel.run(function.name, [10])
+        assert accel.sim.compiled_fallback is not None
+        assert "observer" in accel.sim.compiled_fallback
+
+    def test_clean_run_records_no_fallback(self):
+        accel = _build()
+        module = compile_source(FIB, "fib")
+        accel.run(module.functions[0].name, [10])
+        assert accel.sim.compiled_fallback is None
+        assert accel.sim.compiled_digest
+
+
+def test_deadlock_postmortem_parity_on_generated_kernel():
+    """The generated kernel embeds its own idle-window deadlock
+    detector; on a design the codegen fully supports it must fail at
+    the same cycle with the same message and postmortem as the dense
+    oracle (the fallback path is covered in test_engine_diff.py)."""
+    import glob
+    import os
+
+    from repro.cli import _default_profile_args
+    from repro.errors import DeadlockError
+
+    path = glob.glob(os.path.join(
+        os.path.dirname(__file__), "..", "..", "examples", "programs",
+        "deadlock_ring.cilk"))[0]
+    with open(path) as handle:
+        source = handle.read()
+    outcomes = {}
+    for engine in ("dense", "compiled"):
+        module = compile_source(source, "deadlock_ring")
+        accel = build_accelerator(
+            module, AcceleratorConfig(default_ntiles=2, engine=engine))
+        function = module.functions[0]
+        args = _default_profile_args(function, accel.memory, 8)
+        with pytest.raises(DeadlockError) as excinfo:
+            accel.run(function.name, args)
+        outcomes[engine] = (excinfo.value.cycle, str(excinfo.value),
+                            excinfo.value.postmortem)
+        if engine == "compiled":
+            assert accel.sim.compiled_fallback is None
+    assert outcomes["dense"] == outcomes["compiled"]
+
+
+@pytest.mark.parametrize("engine", ["dense", "event"])
+def test_membound_parity(engine):
+    """The memory-bound regime (tiny cache, one MSHR, long DRAM
+    latency) under the compiled kernel, against both other engines."""
+    from repro.accel import ARRIA_10
+    from repro.memory.cache import CacheParams
+
+    workload = REGISTRY.get("saxpy")
+    outcomes = {}
+    for eng in (engine, "compiled"):
+        config = workload.default_config(
+            2, engine=eng, board=ARRIA_10,
+            cache=CacheParams(size_bytes=1024, mshr_count=1),
+            dram_latency_cycles=200)
+        result = workload.run(config, scale=4)
+        assert result.correct
+        stats = dict(result.stats)
+        stats.pop("engine")
+        outcomes[eng] = (result.cycles, result.retval, stats)
+    assert outcomes[engine] == outcomes["compiled"]

@@ -1,9 +1,9 @@
-"""Differential tests: event engine vs dense oracle, end to end.
+"""Differential tests: event and compiled engines vs the dense oracle.
 
 Every example program and every registered workload must produce
 bit-identical cycle counts, return values and architectural stats under
-both engines — ``stats()["engine"]`` (host wall-clock) is the only key
-allowed to differ. CI runs the same matrix via ``repro diff``.
+all three engines — ``stats()["engine"]`` (host wall-clock) is the only
+key allowed to differ. CI runs the same matrix via ``repro diff``.
 """
 
 import glob
@@ -46,21 +46,23 @@ def _run_example(path, engine):
     return result.cycles, result.retval, _strip(result.stats)
 
 
+@pytest.mark.parametrize("engine", ["event", "compiled"])
 @pytest.mark.parametrize("path", EXAMPLES,
                          ids=[os.path.basename(p) for p in EXAMPLES])
-def test_example_programs_agree(path):
-    assert _run_example(path, "dense") == _run_example(path, "event")
+def test_example_programs_agree(path, engine):
+    assert _run_example(path, "dense") == _run_example(path, engine)
 
 
+@pytest.mark.parametrize("engine", ["event", "compiled"])
 @pytest.mark.parametrize("name", REGISTRY.names())
-def test_workloads_agree(name):
+def test_workloads_agree(name, engine):
     workload = REGISTRY.get(name)
     dense = workload.run(workload.default_config(2, engine="dense"))
-    event = workload.run(workload.default_config(2, engine="event"))
-    assert dense.correct and event.correct
-    assert dense.cycles == event.cycles
-    assert dense.retval == event.retval
-    assert _strip(dense.stats) == _strip(event.stats)
+    other = workload.run(workload.default_config(2, engine=engine))
+    assert dense.correct and other.correct
+    assert dense.cycles == other.cycles
+    assert dense.retval == other.retval
+    assert _strip(dense.stats) == _strip(other.stats)
 
 
 def test_workload_agrees_with_observer_attached():
@@ -91,7 +93,7 @@ def test_memory_bound_config_agrees():
 
     workload = REGISTRY.get("saxpy")
     outcomes = {}
-    for engine in ("dense", "event"):
+    for engine in ("dense", "event", "compiled"):
         config = workload.default_config(
             2, engine=engine, board=ARRIA_10,
             cache=CacheParams(size_bytes=1024, mshr_count=1),
@@ -101,6 +103,7 @@ def test_memory_bound_config_agrees():
                             _strip(result.stats))
         assert result.correct
     assert outcomes["dense"] == outcomes["event"]
+    assert outcomes["dense"] == outcomes["compiled"]
     # and the event engine actually skipped something on this workload
     event_config = workload.default_config(
         2, engine="event", board=ARRIA_10,
@@ -129,7 +132,7 @@ def test_deadlock_postmortem_parity():
             return (self.inp,)
 
     outcomes = {}
-    for engine in ("dense", "event"):
+    for engine in ("dense", "event", "compiled"):
         sim = Simulator(engine=engine)
         ch = sim.add_channel("never", capacity=1)
         sim.add_component(Starved("s", ch))
@@ -138,6 +141,9 @@ def test_deadlock_postmortem_parity():
         outcomes[engine] = (excinfo.value.cycle, str(excinfo.value),
                             excinfo.value.postmortem)
     assert outcomes["dense"] == outcomes["event"]
+    # a custom component routes "compiled" through the event fallback;
+    # the error contract must survive that path too
+    assert outcomes["dense"] == outcomes["compiled"]
 
 
 def test_check_repro_under_event_engine(capsys):

@@ -93,7 +93,7 @@ def _build(engine, count=50):
 
 class TestEngineSelection:
     def test_engines_tuple(self):
-        assert ENGINES == ("event", "dense")
+        assert ENGINES == ("event", "dense", "compiled")
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(SimulationError, match="unknown engine"):

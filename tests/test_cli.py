@@ -330,6 +330,63 @@ class TestObservability:
         assert "bad --scales entry" in capsys.readouterr().err
 
 
+class TestDiff:
+    def test_three_engine_matrix_agrees(self, kernel_file, capsys):
+        assert main(["diff", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "engines agree (dense, event, compiled)" in out
+
+    def test_engine_pair_selection(self, kernel_file, capsys):
+        assert main(["diff", kernel_file, "--engines", "dense,compiled"]) == 0
+        assert "engines agree (dense, compiled)" in capsys.readouterr().out
+
+    def test_rejects_single_or_unknown_engine(self, kernel_file, capsys):
+        assert main(["diff", kernel_file, "--engines", "dense"]) == 1
+        assert "--engines needs" in capsys.readouterr().err
+        assert main(["diff", kernel_file, "--engines", "dense,magic"]) == 1
+        assert "--engines needs" in capsys.readouterr().err
+
+    def test_first_movement_divergence_attribution(self):
+        """The divergence reporter names the first cycle two logs
+        disagree on, the channels involved, and their drivers."""
+        from repro.cli import _first_movement_divergence
+
+        base = [(5, ("a.req",)), (9, ("a.req", "b.resp"))]
+        other = [(5, ("a.req",)), (9, ("a.req",)), (11, ("b.resp",))]
+        where = _first_movement_divergence(
+            base, other, "dense", "compiled", {"b.resp": "unit0"})
+        assert where == (9, "b.resp (driven by unit0) moved under "
+                            "dense only")
+        assert _first_movement_divergence(
+            base, list(base), "dense", "compiled", {}) is None
+
+    def test_divergence_reported_with_cycle(self, kernel_file, capsys,
+                                            monkeypatch):
+        """Force one engine to lie about its movement log and outcome:
+        diff must fail and point at the first divergent cycle."""
+        from repro.accel import accelerator as accel_mod
+
+        real_run = accel_mod.Accelerator.run
+
+        def crooked_run(self, *args, **kwargs):
+            result = real_run(self, *args, **kwargs)
+            if self.sim.engine == "compiled":
+                log = self.sim._movement_log
+                if log:
+                    cycle, names = log[-1]
+                    log[-1] = (cycle, names + ("phantom.ch",))
+                result.cycles += 2
+            return result
+
+        monkeypatch.setattr(accel_mod.Accelerator, "run", crooked_run)
+        assert main(["diff", kernel_file,
+                     "--engines", "dense,compiled"]) == 1
+        err = capsys.readouterr().err
+        assert "dense vs compiled diverge" in err
+        assert "first divergent cycle" in err
+        assert "phantom.ch" in err
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["compile", "/nonexistent.tapas"]) == 1
